@@ -1,0 +1,45 @@
+"""Bench: ablations of the attack-design choices (DESIGN.md section 5).
+
+1. Forged ACKs — without them the sender retransmits visibly (and longer
+   holds die of retransmission exhaustion): the stealth evaporates.
+2. Release margin — 0 s rides the edge and loses trials; the paper's 2 s
+   achieves 100% avoidance with negligible window cost.
+3. Keep-alive pattern — fixed-period sessions have a phase-spread window
+   (Hue: 120 s of spread), on-idle sessions a constant attacker-chosen one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    render_ablations,
+    run_forged_ack_ablation,
+    run_margin_sweep,
+    run_pattern_comparison,
+)
+
+
+def _run_all():
+    return (
+        run_forged_ack_ablation(),
+        run_margin_sweep(),
+        run_pattern_comparison(),
+    )
+
+
+def test_ablations(once):
+    forge_rows, margin_rows, pattern_rows = once(_run_all)
+    print()
+    print(render_ablations(forge_rows, margin_rows, pattern_rows))
+
+    with_forge = next(r for r in forge_rows if r.forge_acks)
+    without = next(r for r in forge_rows if not r.forge_acks)
+    assert with_forge.retransmissions == 0  # silent
+    assert without.retransmissions >= 2    # the suspicious retransmit storm
+
+    by_margin = {row.margin: row for row in margin_rows}
+    assert by_margin[2.0].timeouts_avoided == by_margin[2.0].trials  # paper's margin
+    assert by_margin[0.0].timeouts_avoided < by_margin[0.0].trials   # edge-riding fails
+    assert by_margin[10.0].mean_achieved < by_margin[2.0].mean_achieved  # window cost
+
+    spread = {row.label: row.spread for row in pattern_rows}
+    assert spread["H2"] == 120.0 and spread["H1"] == 31.0

@@ -1,0 +1,75 @@
+"""Bench E7/E8: the Section VII countermeasures and their limitations.
+
+E7 (VII-A): mandating message ACKs with short timeouts shrinks the attack
+window to roughly (timeout − margin); shortening keep-alive intervals
+instead inflates idle traffic hyperbolically (the LIFX cautionary tale).
+
+E8 (VII-B): timestamp checking stops spurious execution via a *delayed
+trigger* but neither condition-delay attacks (Case 8) nor pure delay
+attacks (Case 1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.countermeasures import (
+    render_countermeasures,
+    run_ack_timeout_sweep,
+    run_delay_detection,
+    run_keepalive_cost_curve,
+    run_remediation_experiment,
+    run_static_arp_defense,
+    run_timestamp_defense,
+)
+
+
+def _run_all():
+    return (
+        run_ack_timeout_sweep(),
+        run_keepalive_cost_curve(),
+        run_timestamp_defense(),
+        run_delay_detection(),
+        run_static_arp_defense(),
+        run_remediation_experiment(),
+    )
+
+
+def test_countermeasures(once):
+    ack_rows, traffic_rows, ts_rows, detection, arp_rows, remediation = once(_run_all)
+    print()
+    print(
+        render_countermeasures(
+            ack_rows, traffic_rows, ts_rows, detection, arp_rows, remediation
+        )
+    )
+
+    # Extension: ARP hardening blocks the hijack before it begins.
+    assert arp_rows[0].attack_succeeded and not arp_rows[1].attack_succeeded
+
+    # VII-B: remediation bounds the exposure but never prevents the unlock.
+    assert remediation.spuriously_unlocked and remediation.remediated
+    assert remediation.exposure > 10.0
+    # Battery cost: sub-2 s keep-alives drain a sensor battery within a month.
+    assert any(r.battery_days is not None and r.battery_days < 31 for r in traffic_rows)
+
+    # VII-A: the measured window tracks the mandated timeout and shrinks
+    # monotonically, while the attack stays stealthy inside it.
+    achieved = [row.achieved_delay for row in ack_rows]
+    assert achieved == sorted(achieved, reverse=True)
+    assert all(row.stealthy for row in ack_rows)
+
+    # VII-A limitation: traffic grows as the keep-alive period shrinks.
+    rates = [row.analytic_bytes_per_hour for row in traffic_rows]
+    assert rates == sorted(rates)
+    measured = [r for r in traffic_rows if r.measured_bytes_per_hour is not None]
+    for row in measured:
+        assert row.measured_bytes_per_hour == __import__("pytest").approx(
+            row.analytic_bytes_per_hour, rel=0.25
+        )
+
+    # VII-B asymmetry.
+    by_key = {(r.attack, r.window): r.attack_succeeded for r in ts_rows}
+    assert not by_key[("spurious via delayed trigger", 10.0)]
+    assert by_key[("spurious via delayed condition (Case 8)", 10.0)]
+    assert by_key[("state-update delay (Case 1)", 10.0)]
+
+    assert detection.detected

@@ -1,0 +1,28 @@
+"""Bench (extension): the introduction's contrast with jamming.
+
+The same 25 s of interference three ways: the phantom delay is the only
+variant with zero retransmissions, zero reconnects, zero alarms — and the
+message still arrives.  Packet discarding (jamming's effect) leaves a
+visible retransmission storm and may lose the message outright.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.jamming_contrast import (
+    render_jamming_contrast,
+    run_jamming_contrast,
+)
+
+
+def test_jamming_contrast(once):
+    rows = once(run_jamming_contrast)
+    print()
+    print(render_jamming_contrast(rows))
+    by_mode = {row.mode: row for row in rows}
+    phantom = by_mode["phantom-delay"]
+    assert phantom.silent and phantom.event_delivered
+    assert phantom.delivery_delay > 20.0
+    # Both discarding variants leave visible artifacts.
+    for mode in ("drop-segments", "drop-all"):
+        assert not by_mode[mode].silent, mode
+    assert by_mode["drop-all"].retransmissions >= 3

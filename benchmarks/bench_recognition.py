@@ -1,0 +1,20 @@
+"""Bench (extension): device-recognition accuracy of the sniffing step.
+
+Clarification II: profiling popular models lets the attacker recognise a
+large share of deployments from encrypted metadata alone.  Five mixed homes,
+passive sniffing only — expect 100% top-1 accuracy against the catalogue
+signature database.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.recognition import render_recognition, run_recognition
+
+
+def test_recognition_accuracy(once):
+    report = once(run_recognition)
+    print()
+    print(render_recognition(report))
+    assert report.accuracy == 1.0, [
+        (r.device_id, r.recognised_label) for r in report.rows if not r.correct
+    ]

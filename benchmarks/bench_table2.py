@@ -1,0 +1,22 @@
+"""Bench E2: regenerate Table II — HomeKit-paired devices.
+
+HAP event messages carry no acknowledgement, so the profiler never observes
+a timeout: every row must come out '∞' (the paper: "the HomeKit Accessory
+Protocol allows event messages to be delayed with an infinite upper bound").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import render_table2, run_table2
+
+from conftest import bench_trials
+
+
+def test_table2_full_campaign(once):
+    rows = once(run_table2, trials=min(bench_trials(), 5))
+    print()
+    print(render_table2(rows))
+    assert len(rows) == 14
+    assert all(row.event_unbounded for row in rows), [
+        r.profile.label for r in rows if not r.event_unbounded
+    ]

@@ -1,0 +1,23 @@
+"""Bench E3: regenerate Table III — the 11 PoC attack cases.
+
+Each case runs twice (identical timeline, with and without the attacker);
+the reproduction criterion is the paper's consequence column *and* stealth:
+the attacked run must raise zero alarms of any kind.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def test_table3_all_cases(once):
+    rows = once(run_table3, seed=3)
+    print()
+    print(render_table3(rows))
+    assert len(rows) == 11
+    failures = [
+        r.scenario.case_id
+        for r in rows
+        if not (r.consequence_reproduced and r.stealthy)
+    ]
+    assert not failures, f"cases not reproduced: {failures}"

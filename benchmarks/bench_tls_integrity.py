@@ -1,0 +1,22 @@
+"""Bench E9: Clarification I — TLS catches tampering, not delay.
+
+Five middle-box behaviours against the same session: pass-through and
+hold/release stay silent with the event delivered; corrupt / inject / drop
+all end loudly (TLS alerts or timeout alarms).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tls_integrity import render_integrity, run_integrity_experiment
+
+
+def test_tls_integrity_contrast(once):
+    rows = once(run_integrity_experiment)
+    print()
+    print(render_integrity(rows))
+    by_mode = {row.mode: row for row in rows}
+    assert by_mode["pass-through"].silent and by_mode["pass-through"].event_delivered
+    assert by_mode["hold-release"].silent and by_mode["hold-release"].event_delivered
+    for mode in ("corrupt", "inject", "drop"):
+        assert not by_mode[mode].silent, mode
+    assert all(row.matches_paper for row in rows)

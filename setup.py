@@ -1,0 +1,10 @@
+"""Thin shim so `pip install -e .` works offline (no wheel package available).
+
+All real metadata lives in pyproject.toml; this exists only to enable the
+legacy `setup.py develop` editable path in environments without network
+access to fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

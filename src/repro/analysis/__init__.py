@@ -1,0 +1,22 @@
+"""Reporting, metrics, and timeline analysis for the experiment harness."""
+
+from .reporting import TextTable, fmt_bool, fmt_seconds, fmt_window, mean, median
+from .timeline import (
+    TimelineEntry,
+    build_timeline,
+    ordering_violations,
+    render_timeline,
+)
+
+__all__ = [
+    "TextTable",
+    "TimelineEntry",
+    "build_timeline",
+    "fmt_bool",
+    "fmt_seconds",
+    "fmt_window",
+    "mean",
+    "median",
+    "ordering_violations",
+    "render_timeline",
+]

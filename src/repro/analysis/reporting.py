@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benches regenerate the paper's tables as fixed-width text so the
+"same rows the paper reports" requirement is met on any terminal; no
+plotting dependencies are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+
+def fmt_seconds(value: float | None, precision: int = 1) -> str:
+    """Render a timeout/delay value the way the paper's tables do."""
+    if value is None:
+        return "∞"
+    if isinstance(value, float) and math.isinf(value):
+        return "∞"
+    return f"{value:.{precision}f}s"
+
+
+def fmt_window(window: tuple[float, float] | None, precision: int = 0) -> str:
+    """Render a delay window like the paper's ``[60s, 180s]``."""
+    if window is None:
+        return "-"
+    lo, hi = window
+    if math.isinf(hi):
+        return "∞"
+    if abs(hi - lo) < 0.5:
+        return fmt_seconds(hi, precision)
+    return f"[{fmt_seconds(lo, precision)}, {fmt_seconds(hi, precision)}]"
+
+
+def fmt_bool(value: Any) -> str:
+    if value is None:
+        return "-"
+    return "yes" if value else "no"
+
+
+class TextTable:
+    """Minimal fixed-width table builder."""
+
+    def __init__(self, headers: list[str], title: str = "") -> None:
+        self.title = title
+        self.headers = headers
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def median(values: Iterable[float]) -> float:
+    data = sorted(values)
+    if not data:
+        raise ValueError("median of empty sequence")
+    mid = len(data) // 2
+    if len(data) % 2:
+        return data[mid]
+    return (data[mid - 1] + data[mid]) / 2.0
+
+
+def mean(values: Iterable[float]) -> float:
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    return sum(data) / len(data)

@@ -1,0 +1,118 @@
+"""Merged timelines: physical world vs cyber world, side by side.
+
+The erroneous-execution attacks are about *disagreement between the two
+worlds' orders of events* (the paper's ``I(E)`` vs ``S(E)``).  This module
+assembles one chronological view from a testbed run — physical stimuli,
+server-side event arrivals, rule firings, commands executed on devices,
+notifications — which the examples print and the tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..testbed import SmartHomeTestbed
+
+KIND_PHYSICAL = "physical"
+KIND_SERVER_EVENT = "server-event"
+KIND_RULE = "rule"
+KIND_ACTION = "action"
+KIND_NOTIFY = "notify"
+KIND_ALARM = "alarm"
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    ts: float
+    kind: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.ts:9.3f}] {self.kind:12s} {self.subject}: {self.detail}"
+
+
+def build_timeline(tb: "SmartHomeTestbed", since: float = 0.0) -> list[TimelineEntry]:
+    """Collect every observable of a run into one ordered list."""
+    entries: list[TimelineEntry] = []
+
+    for device_id, device in tb.devices.items():
+        for ts, attribute, value in device.state_history:
+            if ts >= since:
+                entries.append(
+                    TimelineEntry(ts, KIND_PHYSICAL, device_id, f"{attribute}={value}")
+                )
+        for ts, name, _data in device.actions_executed:
+            if ts >= since:
+                entries.append(TimelineEntry(ts, KIND_ACTION, device_id, f"executed '{name}'"))
+
+    engines = [tb.integration.engine]
+    if tb.local_server is not None:
+        engines.append(tb.local_server.engine)
+    for engine in engines:
+        for event in engine.event_log:
+            if event.received_at >= since:
+                entries.append(
+                    TimelineEntry(
+                        event.received_at,
+                        KIND_SERVER_EVENT,
+                        event.device_id,
+                        f"'{event.event_name}' arrived "
+                        f"(generated {event.received_at - event.device_time:.2f}s earlier)",
+                    )
+                )
+        for firing in engine.firings:
+            if firing.ts >= since:
+                outcome = "fired" if firing.action_taken else (
+                    "condition unmet" if not firing.condition_met else "no action"
+                )
+                entries.append(
+                    TimelineEntry(
+                        firing.ts, KIND_RULE, firing.rule_id,
+                        f"{firing.trigger_event} -> {outcome}",
+                    )
+                )
+
+    for note in tb.notifier.notifications:
+        if note.delivered_at is not None and note.delivered_at >= since:
+            entries.append(
+                TimelineEntry(note.delivered_at, KIND_NOTIFY, note.channel, note.message)
+            )
+
+    for alarm in tb.alarms.alarms:
+        if alarm.ts >= since:
+            entries.append(TimelineEntry(alarm.ts, KIND_ALARM, alarm.source, alarm.kind))
+
+    entries.sort(key=lambda e: (e.ts, e.kind))
+    return entries
+
+
+def render_timeline(tb: "SmartHomeTestbed", since: float = 0.0) -> str:
+    return "\n".join(str(entry) for entry in build_timeline(tb, since=since))
+
+
+def ordering_violations(tb: "SmartHomeTestbed", since: float = 0.0) -> list[tuple[str, str]]:
+    """Pairs of server-side events whose arrival order contradicts their
+    generation order — the wire-level signature of a phantom delay.
+
+    A defender with access to device timestamps could compute exactly this;
+    its emptiness in benign runs (and non-emptiness under attack) is
+    asserted by the tests.
+    """
+    engines = [tb.integration.engine]
+    if tb.local_server is not None:
+        engines.append(tb.local_server.engine)
+    violations: list[tuple[str, str]] = []
+    for engine in engines:
+        log = [e for e in engine.event_log if e.received_at >= since]
+        for earlier, later in zip(log, log[1:]):
+            if earlier.device_time > later.device_time + 1e-9:
+                violations.append(
+                    (
+                        f"{earlier.device_id}:{earlier.event_name}@{earlier.device_time:.2f}",
+                        f"{later.device_id}:{later.event_name}@{later.device_time:.2f}",
+                    )
+                )
+    return violations

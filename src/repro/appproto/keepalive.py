@@ -1,0 +1,37 @@
+"""Keep-alive policies.
+
+Section IV-B describes the *pattern of keep-alive messages* as one of the
+three parameters of a device's timeout behaviour: keep-alives are exchanged
+either at a **fixed** period (independent of other traffic — Philips Hue's
+120 s) or **on-idle** (postponed by normal messages — SmartThings' 31 s).
+The profiler distinguishes the two by triggering a normal message and
+watching whether the next keep-alive shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FIXED = "fixed"
+ON_IDLE = "on-idle"
+
+
+@dataclass(frozen=True)
+class KeepAlivePolicy:
+    """Period and scheduling strategy of a device's keep-alive messages."""
+
+    period: float
+    strategy: str = ON_IDLE
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"keep-alive period must be positive: {self.period}")
+        if self.strategy not in (FIXED, ON_IDLE):
+            raise ValueError(f"unknown keep-alive strategy: {self.strategy!r}")
+
+    @property
+    def resets_on_activity(self) -> bool:
+        return self.strategy == ON_IDLE
+
+    def describe(self) -> str:
+        return f"{self.period:g}s/{self.strategy}"

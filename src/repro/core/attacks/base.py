@@ -1,0 +1,149 @@
+"""Scenario framework for the end-to-end attacks (Section V / Table III).
+
+A :class:`Scenario` describes one PoC case: which devices and automation
+rules exist, the physical-world timeline, what the attacker does, and what
+to measure.  :func:`run_scenario` executes it twice-comparable — the same
+seed and timeline with and without the attack — so every bench reports a
+clean "without attack vs with attack" row like the paper's demonstrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from ...devices.base import IoTDevice
+from ...devices.profiles import TABLE_CLOUD
+from ...testbed import SmartHomeTestbed
+from ..attacker import PhantomDelayAttacker
+from ..predictor import TimeoutBehavior
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+# Attack type labels (paper Section V).
+TYPE_STATE_UPDATE_DELAY = "state-update-delay"
+TYPE_ACTION_DELAY = "action-delay"
+TYPE_SPURIOUS_EXECUTION = "spurious-execution"
+TYPE_DISABLED_EXECUTION = "disabled-execution"
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    scenario: str
+    attacked: bool
+    metrics: dict[str, Any] = field(default_factory=dict)
+    alarms: dict[str, int] = field(default_factory=dict)
+    notifications: list[tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def stealthy(self) -> bool:
+        """No alarm of any kind was raised during the run."""
+        return not self.alarms
+
+
+class Scenario:
+    """One reproducible PoC case; subclasses fill in the five hooks."""
+
+    name = "scenario"
+    case_id = ""  # "Case 1" .. "Case 11" / "Fig 3a" ..
+    attack_type = ""
+    description = ""
+    rule_source = ""  # forum reference in the paper's Table III
+    duration = 120.0
+    settle = 10.0
+    #: Sniffing window between interposition and the timeline: the attacker
+    #: watches at least one keep-alive pass so the session phase is known
+    #: and the full delay window is available.  Runs in baseline too, so
+    #: the two runs stay time-aligned.
+    observe = 40.0
+    integration_staleness: float | None = None
+    #: Section VII-B timestamp checking, when a run evaluates the defence.
+    trigger_timestamp_window: float | None = None
+
+    # ------------------------------------------------------------- hooks
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        """Create devices and install rules; returns the scenario context."""
+        raise NotImplementedError
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        """Schedule the physical-world events (same with/without attack)."""
+        raise NotImplementedError
+
+    def attack(
+        self, tb: SmartHomeTestbed, ctx: dict[str, Any], attacker: PhantomDelayAttacker
+    ) -> None:
+        """Interpose and arm the delay primitives."""
+        raise NotImplementedError
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        """Extract the scenario's outcome metrics."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def behavior_of(device: IoTDevice) -> TimeoutBehavior:
+        """The attacker's pre-profiled knowledge of this device model.
+
+        Profiling is a one-time offline effort against attacker-owned
+        hardware (Section IV-C); scenarios therefore read the behaviour
+        from the knowledge base rather than re-measuring every run.  The
+        Table I/II benches validate that measuring reproduces these values.
+        """
+        return TimeoutBehavior.from_profile(device.profile)
+
+    @staticmethod
+    def uplink_ip_of(device: IoTDevice) -> str:
+        """The LAN IP whose session carries this device's messages."""
+        from ...devices.base import HubChildDevice
+
+        if isinstance(device, HubChildDevice):
+            return device.hub.ip
+        return device.host.ip  # type: ignore[attr-defined]
+
+
+def run_scenario(
+    scenario: Scenario,
+    attacked: bool,
+    seed: int = 0,
+) -> ScenarioResult:
+    """Execute one scenario run and collect its result."""
+    tb = SmartHomeTestbed(
+        seed=seed,
+        integration_staleness=scenario.integration_staleness,
+        trigger_timestamp_window=scenario.trigger_timestamp_window,
+    )
+    ctx = scenario.build(tb)
+    tb.settle(scenario.settle)
+    if attacked:
+        attacker = PhantomDelayAttacker.deploy(tb)
+        ctx["attacker"] = attacker
+        scenario.attack(tb, ctx, attacker)
+    tb.run(scenario.observe)
+    mark = tb.now
+    ctx["timeline_start"] = mark
+    scenario.timeline(tb, ctx)
+    tb.run(scenario.duration)
+    metrics = scenario.measure(tb, ctx)
+    return ScenarioResult(
+        scenario=scenario.name,
+        attacked=attacked,
+        metrics=metrics,
+        alarms=tb.alarms.summary(),
+        notifications=[
+            (n.delivered_at, n.message)
+            for n in tb.notifier.notifications
+            if n.delivered_at is not None
+        ],
+    )
+
+
+def compare_scenario(scenario: Scenario, seed: int = 0) -> tuple[ScenarioResult, ScenarioResult]:
+    """Run the same scenario without and with the attack."""
+    baseline = run_scenario(scenario, attacked=False, seed=seed)
+    attacked = run_scenario(scenario, attacked=True, seed=seed)
+    return baseline, attacked

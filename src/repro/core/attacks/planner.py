@@ -1,0 +1,237 @@
+"""Attack planning: from an automation rule set to concrete attack plans.
+
+The paper shows the primitives compose into "rich attacks" (Section V) and
+that rules can be inferred from traffic (Section VI-D2 infers the
+lock-on-close rule from one day's events).  This module operationalises the
+step in between: given the rules an attacker has inferred and the device
+models they have recognised, enumerate every attack opportunity —
+
+* **Type-I** against notification rules (delay the trigger event),
+* **Type-II** against command rules (delay the trigger event, the command,
+  or both; the windows add),
+* **Type-III spurious** against conditional rules (hold the event that
+  would falsify the condition),
+* **Type-III disabled** (hold the event that would satisfy it),
+
+with per-opportunity feasibility checks (a condition event can only be
+delayed *independently* of the trigger when the two devices do not share
+one uplink session) and the achievable window from the profiled timeout
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...analysis.reporting import TextTable, fmt_window
+from ...automation.rules import CommandAction, NotifyAction, Rule
+from ...devices.behaviors import behavior_for
+from ...devices.profiles import CATALOGUE, Catalogue, DeviceProfile
+
+# Severity heuristic by the actuated device kind / notification purpose.
+CRITICAL_KINDS = frozenset({"lock", "security-base", "valve", "garage", "siren"})
+ELEVATED_KINDS = frozenset({"thermostat", "camera", "smoke", "water-leak"})
+
+SEVERITY_CRITICAL = "critical"
+SEVERITY_ELEVATED = "elevated"
+SEVERITY_LOW = "low"
+
+
+@dataclass(frozen=True)
+class AttackOpportunity:
+    """One way to attack one rule."""
+
+    rule_id: str
+    rule_text: str
+    attack_type: str  # the Section V families
+    delay_target: str  # device whose messages are held
+    direction: str  # "event" or "command"
+    window: tuple[float, float]
+    severity: str
+    feasible: bool
+    mechanism: str
+    caveat: str = ""
+
+
+class AttackPlanner:
+    """Enumerates attack opportunities over inferred rules."""
+
+    def __init__(
+        self,
+        device_profiles: dict[str, DeviceProfile],
+        catalogue: Catalogue | None = None,
+    ) -> None:
+        """``device_profiles`` maps runtime device ids to recognised models
+        (the output of the fingerprinting step)."""
+        self.device_profiles = device_profiles
+        self.catalogue = catalogue or CATALOGUE
+
+    # ------------------------------------------------------------- analysis
+
+    def analyze(self, rules: list[Rule]) -> list[AttackOpportunity]:
+        opportunities: list[AttackOpportunity] = []
+        for rule in rules:
+            opportunities.extend(self._analyze_rule(rule))
+        order = {SEVERITY_CRITICAL: 0, SEVERITY_ELEVATED: 1, SEVERITY_LOW: 2}
+        opportunities.sort(key=lambda o: (order[o.severity], not o.feasible, o.rule_id))
+        return opportunities
+
+    def _analyze_rule(self, rule: Rule) -> list[AttackOpportunity]:
+        out: list[AttackOpportunity] = []
+        trigger_dev = rule.trigger.device_id
+        severity = self._severity(rule)
+
+        # Type-I / Type-II: delay the trigger event.
+        if self._known(trigger_dev):
+            window = self.device_profiles[trigger_dev].event_delay_window()
+            attack_type = (
+                "state-update-delay"
+                if isinstance(rule.action, NotifyAction)
+                else "action-delay"
+            )
+            out.append(
+                AttackOpportunity(
+                    rule_id=rule.rule_id,
+                    rule_text=str(rule),
+                    attack_type=attack_type,
+                    delay_target=trigger_dev,
+                    direction="event",
+                    window=window,
+                    severity=severity,
+                    feasible=True,
+                    mechanism=f"e-Delay '{rule.trigger.event_name}' from {trigger_dev}",
+                )
+            )
+
+        # Type-II: delay the action command.
+        if isinstance(rule.action, CommandAction) and self._known(rule.action.device_id):
+            profile = self.device_profiles[rule.action.device_id]
+            window = profile.command_delay_window()
+            if window is not None:
+                out.append(
+                    AttackOpportunity(
+                        rule_id=rule.rule_id,
+                        rule_text=str(rule),
+                        attack_type="action-delay",
+                        delay_target=rule.action.device_id,
+                        direction="command",
+                        window=window,
+                        severity=severity,
+                        feasible=True,
+                        mechanism=(
+                            f"c-Delay '{rule.action.command}' toward "
+                            f"{rule.action.device_id} (windows add with the trigger delay)"
+                        ),
+                    )
+                )
+
+        # Type-III: delay the condition device's events.
+        if rule.condition is not None and self._known(rule.condition.device_id):
+            out.extend(self._condition_opportunities(rule, severity))
+        return out
+
+    def _condition_opportunities(self, rule: Rule, severity: str) -> list[AttackOpportunity]:
+        condition = rule.condition
+        assert condition is not None
+        cond_dev = condition.device_id
+        profile = self.device_profiles[cond_dev]
+        window = profile.event_delay_window()
+        feasible, caveat = self._independently_delayable(rule.trigger.device_id, cond_dev)
+        behavior = behavior_for(profile.kind)
+        other_values = [v for v in behavior.sensor_values if v != condition.equals]
+        falsifier = (
+            f"{condition.attribute}.{other_values[0]}" if other_values else "(state change)"
+        )
+        satisfier = f"{condition.attribute}.{condition.equals}"
+        return [
+            AttackOpportunity(
+                rule_id=rule.rule_id,
+                rule_text=str(rule),
+                attack_type="spurious-execution",
+                delay_target=cond_dev,
+                direction="event",
+                window=window,
+                severity=severity,
+                feasible=feasible,
+                mechanism=(
+                    f"hold '{falsifier}' from {cond_dev} past the trigger: the "
+                    f"stale condition fires the action"
+                ),
+                caveat=caveat,
+            ),
+            AttackOpportunity(
+                rule_id=rule.rule_id,
+                rule_text=str(rule),
+                attack_type="disabled-execution",
+                delay_target=cond_dev,
+                direction="event",
+                window=window,
+                severity=severity,
+                feasible=feasible,
+                mechanism=(
+                    f"hold '{satisfier}' from {cond_dev} past the trigger: the "
+                    f"action never runs"
+                ),
+                caveat=caveat,
+            ),
+        ]
+
+    # -------------------------------------------------------------- helpers
+
+    def _known(self, device_id: str) -> bool:
+        return device_id in self.device_profiles
+
+    def _independently_delayable(self, trigger_dev: str, cond_dev: str) -> tuple[bool, str]:
+        """Can the condition event be held while the trigger flows freely?
+
+        Two devices sharing one uplink session (same hub, or the same
+        device) are held together — order on a flow is preserved — so the
+        race cannot be created.
+        """
+        if trigger_dev == cond_dev:
+            return False, "trigger and condition are the same device"
+        if not self._known(trigger_dev):
+            return True, "trigger device unrecognised; assumed on its own session"
+        t_profile = self.device_profiles[trigger_dev]
+        c_profile = self.device_profiles[cond_dev]
+        t_uplink = t_profile.hub_label or f"wifi:{trigger_dev}"
+        c_uplink = c_profile.hub_label or f"wifi:{cond_dev}"
+        if t_uplink == c_uplink:
+            return False, f"trigger and condition share the {t_uplink} session"
+        return True, ""
+
+    def _severity(self, rule: Rule) -> str:
+        if isinstance(rule.action, CommandAction):
+            profile = self.device_profiles.get(rule.action.device_id)
+            kind = profile.kind if profile is not None else ""
+            if kind in CRITICAL_KINDS:
+                return SEVERITY_CRITICAL
+            if kind in ELEVATED_KINDS:
+                return SEVERITY_ELEVATED
+            return SEVERITY_LOW
+        # Notifications: severity follows what they warn about.
+        trigger_profile = self.device_profiles.get(rule.trigger.device_id)
+        kind = trigger_profile.kind if trigger_profile is not None else ""
+        if kind in ELEVATED_KINDS or kind in CRITICAL_KINDS or kind in ("contact", "motion", "keypad"):
+            return SEVERITY_ELEVATED
+        return SEVERITY_LOW
+
+
+def render_plan(opportunities: list[AttackOpportunity]) -> str:
+    table = TextTable(
+        ["Rule", "Attack", "Delay target", "Dir", "Window", "Severity", "Feasible", "Mechanism"],
+        title=f"Attack plan — {len(opportunities)} opportunities",
+    )
+    for opp in opportunities:
+        feasible = "yes" if opp.feasible else f"NO ({opp.caveat})"
+        table.add_row(
+            opp.rule_id,
+            opp.attack_type,
+            opp.delay_target,
+            opp.direction,
+            fmt_window(opp.window),
+            opp.severity,
+            feasible,
+            opp.mechanism,
+        )
+    return table.render()

@@ -1,0 +1,719 @@
+"""The paper's PoC attack cases (Table III and Figure 3).
+
+Each scenario reproduces one real-world automation rule collected from IoT
+user forums, with the devices the paper used (or their catalogue stand-ins)
+and the attack the paper demonstrated.  The consequence column of Table III
+is what ``measure`` returns; the Table III bench prints the rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...automation.dsl import parse_rule
+from ...testbed import SmartHomeTestbed
+from ..attacker import PhantomDelayAttacker
+from .action_delay import ActionDelay
+from .base import (
+    Scenario,
+    TYPE_ACTION_DELAY,
+    TYPE_DISABLED_EXECUTION,
+    TYPE_SPURIOUS_EXECUTION,
+    TYPE_STATE_UPDATE_DELAY,
+)
+from .erroneous_execution import DisabledExecution, SpuriousExecution
+from .state_update_delay import StateUpdateDelay
+
+
+def _first_action_time(device, command: str) -> float | None:
+    for ts, name, _data in device.actions_executed:
+        if name == command:
+            return ts
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Type-I: state-update delay
+
+
+class Case1FrontDoorVoiceAlert(Scenario):
+    """Case 1: front door opened -> voice notification (late burglary alert)."""
+
+    name = "case1-front-door-voice-alert"
+    case_id = "Case 1"
+    attack_type = TYPE_STATE_UPDATE_DELAY
+    description = "Front door opened -> voice notification"
+    rule_source = "[6]"
+    duration = 90.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        contact = tb.add_device("C1")  # Ring contact via its base station
+        tb.add_device("SPK1")
+        tb.install_rule(
+            parse_rule('WHEN c1 contact.open THEN NOTIFY voice "Front door opened"')
+        )
+        return {"contact": contact}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        ctx["incident_at"] = tb.now + 5.0
+        tb.sim.schedule(5.0, ctx["contact"].stimulate, "open")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        delay = StateUpdateDelay(attacker, ctx["contact"])
+        ctx["operation"] = delay.arm(duration=None)  # maximum safe delay
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        delivered = tb.notifier.first_delivery_time("Front door opened")
+        latency = None if delivered is None else delivered - ctx["incident_at"]
+        out: dict[str, Any] = {"alert_latency": latency, "alert_delivered": delivered is not None}
+        operation = ctx.get("operation")
+        if operation is not None:
+            out["achieved_delay"] = operation.achieved_delay
+            out["stealthy_hold"] = operation.stealthy
+        return out
+
+
+class Case2MotionMobileAlert(Case1FrontDoorVoiceAlert):
+    """Case 2: motion active -> mobile notification."""
+
+    name = "case2-motion-mobile-alert"
+    case_id = "Case 2"
+    description = "Motion active -> mobile notification"
+    rule_source = "[6]"
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        motion = tb.add_device("M1")  # Ring motion detector via the base
+        tb.install_rule(
+            parse_rule('WHEN m1 motion.active THEN NOTIFY push "Motion detected at home"')
+        )
+        return {"contact": motion}  # reuse parent's timeline machinery
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        ctx["incident_at"] = tb.now + 5.0
+        tb.sim.schedule(5.0, ctx["contact"].stimulate, "active")
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        delivered = tb.notifier.first_delivery_time("Motion detected")
+        latency = None if delivered is None else delivered - ctx["incident_at"]
+        out: dict[str, Any] = {"alert_latency": latency, "alert_delivered": delivered is not None}
+        operation = ctx.get("operation")
+        if operation is not None:
+            out["achieved_delay"] = operation.achieved_delay
+            out["stealthy_hold"] = operation.stealthy
+        return out
+
+
+class Fig3aSmokeAlert(Case1FrontDoorVoiceAlert):
+    """Figure 3(a): kitchen smoke detector's alert delayed."""
+
+    name = "fig3a-smoke-alert"
+    case_id = "Fig 3a"
+    description = "Smoke detected -> phone alert"
+    rule_source = "Fig. 3a"
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        smoke = tb.add_device("SM1")
+        tb.install_rule(
+            parse_rule('WHEN sm1 smoke.detected THEN NOTIFY push "Smoke detected in the kitchen"')
+        )
+        return {"contact": smoke}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        ctx["incident_at"] = tb.now + 5.0
+        tb.sim.schedule(5.0, ctx["contact"].stimulate, "detected")
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        delivered = tb.notifier.first_delivery_time("Smoke detected")
+        latency = None if delivered is None else delivered - ctx["incident_at"]
+        out: dict[str, Any] = {"alert_latency": latency, "alert_delivered": delivered is not None}
+        operation = ctx.get("operation")
+        if operation is not None:
+            out["achieved_delay"] = operation.achieved_delay
+            out["stealthy_hold"] = operation.stealthy
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Type-II: action delay
+
+
+class Case3DoorCloseAutoLock(Scenario):
+    """Case 3: front door closed -> lock the door (lock delayed 30-58 s)."""
+
+    name = "case3-door-close-auto-lock"
+    case_id = "Case 3"
+    attack_type = TYPE_ACTION_DELAY
+    description = "Front door closed -> lock the door"
+    rule_source = "[12]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        contact = tb.add_device("C2")
+        lock = tb.add_device("LK1")
+        tb.install_rule(parse_rule("WHEN c2 contact.closed THEN COMMAND lk1 lock"))
+        return {"contact": contact, "lock": lock}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        lock = ctx["lock"]
+        lock.state[lock.behavior.attribute] = "unlocked"  # user just came in
+        ctx["closed_at"] = tb.now + 5.0
+        tb.sim.schedule(5.0, ctx["contact"].stimulate, "closed")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        action_delay = ActionDelay(attacker, action_device=ctx["lock"])
+        ctx["operation"] = action_delay.arm_command_delay(duration=None)
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        locked_at = _first_action_time(ctx["lock"], "lock")
+        latency = None if locked_at is None else locked_at - ctx["closed_at"]
+        out: dict[str, Any] = {
+            "lock_latency": latency,
+            "locked_eventually": ctx["lock"].attribute_value == "locked",
+        }
+        operation = ctx.get("operation")
+        if operation is not None:
+            out["achieved_delay"] = operation.achieved_delay
+        return out
+
+
+class Fig3bWaterValve(Scenario):
+    """Figure 3(b): water leak -> shut-off valve, both sides delayed."""
+
+    name = "fig3b-water-valve"
+    case_id = "Fig 3b"
+    attack_type = TYPE_ACTION_DELAY
+    description = "Water leak detected -> close the water valve"
+    rule_source = "Fig. 3b"
+    duration = 150.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        leak = tb.add_device("WL1")
+        valve = tb.add_device("V1")
+        tb.install_rule(parse_rule("WHEN wl1 water.wet THEN COMMAND v1 close"))
+        return {"leak": leak, "valve": valve}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        ctx["leak_at"] = tb.now + 5.0
+        tb.sim.schedule(5.0, ctx["leak"].stimulate, "wet")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        action_delay = ActionDelay(
+            attacker, trigger_device=ctx["leak"], action_device=ctx["valve"]
+        )
+        ctx["trigger_op"] = action_delay.arm_trigger_delay(duration=None)
+        ctx["command_op"] = action_delay.arm_command_delay(duration=None)
+        ctx["action_delay"] = action_delay
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        closed_at = _first_action_time(ctx["valve"], "close")
+        latency = None if closed_at is None else closed_at - ctx["leak_at"]
+        out: dict[str, Any] = {
+            "shutoff_latency": latency,
+            "valve_closed": ctx["valve"].attribute_value == "closed",
+        }
+        if "action_delay" in ctx:
+            out["combined_window"] = ctx["action_delay"].total_window
+        return out
+
+
+class Case4ArmedHeaterOff(Scenario):
+    """Case 4: arming the security system should turn the heater off.
+
+    The Ring event is delayed past Alexa's 30 s staleness window, so the
+    integration silently discards it and the heater stays on forever
+    (Finding 2: no notification, no alarm — the routine is disabled).
+    """
+
+    name = "case4-armed-heater-off"
+    case_id = "Case 4"
+    attack_type = TYPE_ACTION_DELAY
+    description = "Home security system armed -> turn off heater"
+    rule_source = "[12]"
+    duration = 150.0
+    integration_staleness = 30.0  # Alexa's observed discard window
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        base = tb.add_device("HS1")
+        heater = tb.add_device("P4")
+        tb.install_rule(parse_rule("WHEN hs1 security.armed-away THEN COMMAND p4 off"))
+        return {"base": base, "heater": heater}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        heater = ctx["heater"]
+        heater.state[heater.behavior.attribute] = "on"  # heater running
+        ctx["armed_at"] = tb.now + 5.0
+        tb.sim.schedule(5.0, ctx["base"].stimulate, "armed-away")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        delay = StateUpdateDelay(attacker, ctx["base"])
+        # Hold just past the discard window; well inside HS1's 60 s budget.
+        ctx["operation"] = delay.arm(duration=35.0)
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        off_at = _first_action_time(ctx["heater"], "off")
+        return {
+            "heater_turned_off": off_at is not None,
+            "heater_state": ctx["heater"].attribute_value,
+            "events_discarded": tb.integration.stats["events_discarded"],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Type-III: spurious execution
+
+
+class Case5DisarmOnUnlock(Scenario):
+    """Case 5: door unlocked IF entrance motion inactive -> disarm security."""
+
+    name = "case5-disarm-on-unlock"
+    case_id = "Case 5"
+    attack_type = TYPE_SPURIOUS_EXECUTION
+    description = "Front door unlocked, if entrance motion inactive, disarm security"
+    rule_source = "[7]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        lock = tb.add_device("LK1")
+        motion = tb.add_device("M2")
+        base = tb.add_device("HS2")
+        tb.install_rule(
+            parse_rule(
+                "WHEN lk1 lock.unlocked IF m2.motion == inactive THEN COMMAND hs2 disarm"
+            )
+        )
+        return {"lock": lock, "motion": motion, "base": base}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        base = ctx["base"]
+        base.state[base.behavior.attribute] = "armed-away"
+        # Seed the shadow: entrance quiet, then someone approaches, then the
+        # door is unlocked (e.g. by a returning housemate's key fob).
+        tb.sim.schedule(1.0, ctx["motion"].stimulate, "inactive")
+        tb.sim.schedule(8.0, ctx["motion"].stimulate, "active")
+        tb.sim.schedule(14.0, ctx["lock"].stimulate, "unlocked")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        spurious = SpuriousExecution(attacker, ctx["motion"])
+        # Arm after the seeding event has passed (its size would trigger the
+        # hold), before the condition-falsifying 'motion.active'.
+        tb.sim.schedule(self.observe + 4.0, spurious.arm, None)
+        ctx["spurious"] = spurious
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        disarm_at = _first_action_time(ctx["base"], "disarm")
+        return {
+            "disarmed": disarm_at is not None,
+            "security_state": ctx["base"].attribute_value,
+        }
+
+
+class Case6BedroomHeater(Scenario):
+    """Case 6: bedroom motion IF bedroom door closed -> turn on heater."""
+
+    name = "case6-bedroom-heater"
+    case_id = "Case 6"
+    attack_type = TYPE_SPURIOUS_EXECUTION
+    description = "Bedroom motion active, if bedroom door closed, turn on bedroom heater"
+    rule_source = "[5]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        # The trigger motion and the condition contact must not share one
+        # hub session — holding the condition event would hold the trigger
+        # too (order is preserved on a flow).  The paper's homes mix
+        # vendors, so the bedroom motion here is a WiFi sensor.
+        motion = tb.add_device("M7")
+        contact = tb.add_device("C3")
+        heater = tb.add_device("P2")
+        tb.install_rule(
+            parse_rule("WHEN m7 motion.active IF c3.contact == closed THEN COMMAND p2 on")
+        )
+        return {"motion": motion, "contact": contact, "heater": heater}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["contact"].stimulate, "closed")
+        tb.sim.schedule(8.0, ctx["contact"].stimulate, "open")  # door opened
+        tb.sim.schedule(14.0, ctx["motion"].stimulate, "active")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        spurious = SpuriousExecution(attacker, ctx["contact"])
+        tb.sim.schedule(self.observe + 4.0, spurious.arm, None)
+        ctx["spurious"] = spurious
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        on_at = _first_action_time(ctx["heater"], "on")
+        return {
+            "heater_turned_on": on_at is not None,
+            "heater_state": ctx["heater"].attribute_value,
+        }
+
+
+class Case7StudyWindow(Scenario):
+    """Case 7: study motion IF study door closed -> open the study window."""
+
+    name = "case7-study-window"
+    case_id = "Case 7"
+    attack_type = TYPE_SPURIOUS_EXECUTION
+    description = "Study motion active, if study door closed, open the study window"
+    rule_source = "[5]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        motion = tb.add_device("M3")   # Hue motion via the bridge
+        contact = tb.add_device("C2")
+        window = tb.add_device("P3")   # window-opener relay plug
+        tb.install_rule(
+            parse_rule("WHEN m3 motion.active IF c2.contact == closed THEN COMMAND p3 on")
+        )
+        return {"motion": motion, "contact": contact, "window": window}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["contact"].stimulate, "closed")
+        tb.sim.schedule(8.0, ctx["contact"].stimulate, "open")
+        tb.sim.schedule(14.0, ctx["motion"].stimulate, "active")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        spurious = SpuriousExecution(attacker, ctx["contact"])
+        tb.sim.schedule(self.observe + 4.0, spurious.arm, None)
+        ctx["spurious"] = spurious
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        opened_at = _first_action_time(ctx["window"], "on")
+        return {
+            "window_opened": opened_at is not None,
+            "window_state": ctx["window"].attribute_value,
+        }
+
+
+class Case8StormDoorUnlock(Scenario):
+    """Case 8 / Figure 3(c): the storm-door break-in.
+
+    Rule: storm door opened IF the resident is present -> unlock the
+    interior door.  The attacker holds 'presence.away' when the resident
+    leaves, then pulls the storm door: the stale condition unlocks the
+    house for them.
+    """
+
+    name = "case8-storm-door-unlock"
+    case_id = "Case 8"
+    attack_type = TYPE_SPURIOUS_EXECUTION
+    description = "Storm door opened, if presence on, unlock the interior door"
+    rule_source = "[5]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        # Matching the paper's build: a SmartThings presence sensor, an
+        # August lock, and a SmartLife WiFi contact sensor on the storm
+        # door — three *different* sessions, so holding the presence event
+        # leaves the storm-door trigger free to race past it.
+        storm = tb.add_device("C5")
+        presence = tb.add_device("PR1")
+        lock = tb.add_device("LK1")
+        tb.install_rule(
+            parse_rule(
+                "WHEN c5 contact.open IF pr1.presence == present THEN COMMAND lk1 unlock"
+            )
+        )
+        return {"storm": storm, "presence": presence, "lock": lock}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["presence"].stimulate, "present")
+        tb.sim.schedule(8.0, ctx["presence"].stimulate, "away")  # resident leaves
+        # The burglar pulls the storm door while 'away' is still in transit
+        # — they watch the hold trigger and act inside the worst-case
+        # window (grace alone is 16 s for the SmartThings session).
+        ctx["pulled_at"] = tb.now + 18.0
+        tb.sim.schedule(18.0, ctx["storm"].stimulate, "open")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        spurious = SpuriousExecution(attacker, ctx["presence"])
+        tb.sim.schedule(self.observe + 4.0, spurious.arm, None)
+        ctx["spurious"] = spurious
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        unlock_at = _first_action_time(ctx["lock"], "unlock")
+        return {
+            "unlocked": unlock_at is not None,
+            "lock_state": ctx["lock"].attribute_value,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Type-III: disabled execution
+
+
+class Case9DoorOpenText(Scenario):
+    """Case 9: presence away IF front door open -> send text message."""
+
+    name = "case9-door-open-text"
+    case_id = "Case 9"
+    attack_type = TYPE_DISABLED_EXECUTION
+    description = "Presence away, if front door open, send text message"
+    rule_source = "[4]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        # Condition contact on its own (Tuya WiFi) session, so its event
+        # can be delayed without holding the presence trigger.
+        presence = tb.add_device("PR1")
+        contact = tb.add_device("C5")
+        tb.install_rule(
+            parse_rule(
+                'WHEN pr1 presence.away IF c5.contact == open THEN NOTIFY sms "Front door left open!"'
+            )
+        )
+        return {"presence": presence, "contact": contact}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["contact"].stimulate, "closed")
+        tb.sim.schedule(8.0, ctx["contact"].stimulate, "open")  # left open!
+        tb.sim.schedule(14.0, ctx["presence"].stimulate, "away")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        disabled = DisabledExecution(attacker, ctx["contact"])
+        tb.sim.schedule(self.observe + 4.0, disabled.arm, None)
+        ctx["disabled"] = disabled
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "warning_sent": tb.notifier.first_delivery_time("Front door left open") is not None,
+        }
+
+
+class Case10AutoLockOnLeave(Scenario):
+    """Case 10: presence away IF front door unlocked -> lock the front door.
+
+    Holding the 'lock.unlocked' event until after 'presence.away' leaves
+    the condition stale-false: the door stays unlocked the whole day.
+    """
+
+    name = "case10-auto-lock-on-leave"
+    case_id = "Case 10"
+    attack_type = TYPE_DISABLED_EXECUTION
+    description = "Presence away, if front door unlocked, lock the front door"
+    rule_source = "[5]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        presence = tb.add_device("PR1")
+        lock = tb.add_device("LK1")
+        tb.install_rule(
+            parse_rule(
+                "WHEN pr1 presence.away IF lk1.lock == unlocked THEN COMMAND lk1 lock"
+            )
+        )
+        return {"presence": presence, "lock": lock}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["lock"].stimulate, "locked")  # seed shadow
+        tb.sim.schedule(8.0, ctx["lock"].stimulate, "unlocked")  # user exits
+        tb.sim.schedule(16.0, ctx["presence"].stimulate, "away")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        disabled = DisabledExecution(attacker, ctx["lock"])
+        tb.sim.schedule(self.observe + 4.0, disabled.arm, None)
+        ctx["disabled"] = disabled
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        lock_cmd_at = _first_action_time(ctx["lock"], "lock")
+        return {
+            "auto_locked": lock_cmd_at is not None,
+            "lock_state": ctx["lock"].attribute_value,
+        }
+
+
+class Case11HeaterOffOnLeave(Scenario):
+    """Case 11: presence away IF heater on -> turn off heater."""
+
+    name = "case11-heater-off-on-leave"
+    case_id = "Case 11"
+    attack_type = TYPE_DISABLED_EXECUTION
+    description = "Presence away, if heater is on, turn off heater"
+    rule_source = "[10]"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        presence = tb.add_device("PR1")
+        heater = tb.add_device("P4")
+        tb.install_rule(
+            parse_rule("WHEN pr1 presence.away IF p4.switch == on THEN COMMAND p4 off")
+        )
+        return {"presence": presence, "heater": heater}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["heater"].stimulate, "off")  # seed shadow
+        tb.sim.schedule(8.0, ctx["heater"].stimulate, "on")   # heater running
+        tb.sim.schedule(16.0, ctx["presence"].stimulate, "away")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        disabled = DisabledExecution(attacker, ctx["heater"])
+        tb.sim.schedule(self.observe + 4.0, disabled.arm, None)
+        ctx["disabled"] = disabled
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        off_at = _first_action_time(ctx["heater"], "off")
+        return {
+            "heater_turned_off": off_at is not None,
+            "heater_state": ctx["heater"].attribute_value,
+        }
+
+
+class Fig3dDoorCloseLockDisabled(Scenario):
+    """Figure 3(d): door closed IF lock unlocked -> lock; disabled forever."""
+
+    name = "fig3d-door-close-lock-disabled"
+    case_id = "Fig 3d"
+    attack_type = TYPE_DISABLED_EXECUTION
+    description = "Front door closed, if lock unlocked, lock the front door"
+    rule_source = "Fig. 3d"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        contact = tb.add_device("C2")
+        lock = tb.add_device("LK1")
+        tb.install_rule(
+            parse_rule(
+                "WHEN c2 contact.closed IF lk1.lock == unlocked THEN COMMAND lk1 lock"
+            )
+        )
+        return {"contact": contact, "lock": lock}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["lock"].stimulate, "locked")     # seed shadow
+        tb.sim.schedule(8.0, ctx["lock"].stimulate, "unlocked")   # user exits
+        tb.sim.schedule(12.0, ctx["contact"].stimulate, "open")
+        tb.sim.schedule(16.0, ctx["contact"].stimulate, "closed")
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        disabled = DisabledExecution(attacker, ctx["lock"])
+        tb.sim.schedule(self.observe + 4.0, disabled.arm, None)
+        ctx["disabled"] = disabled
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        lock_cmd_at = _first_action_time(ctx["lock"], "lock")
+        return {
+            "auto_locked": lock_cmd_at is not None,
+            "lock_state": ctx["lock"].attribute_value,
+        }
+
+
+class DelayedTriggerSpurious(Scenario):
+    """Extension case (paper Section V-C subtype 1): delayed *trigger*.
+
+    The trigger event is generated while the condition is false, then
+    delayed until after a later event has turned the condition true — so
+    the late trigger fires spuriously.  This is the one erroneous-execution
+    shape that Section VII-B's timestamp checking *does* stop, which is why
+    the countermeasures experiment runs it with and without the defence.
+    """
+
+    name = "ext-delayed-trigger-spurious"
+    case_id = "Case V-C1"
+    attack_type = TYPE_SPURIOUS_EXECUTION
+    description = "Motion active (delayed trigger), if door closed, turn on heater"
+    rule_source = "Section V-C(1)"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        motion = tb.add_device("M7")   # trigger on its own on-demand session
+        contact = tb.add_device("C3")
+        heater = tb.add_device("P2")
+        tb.install_rule(
+            parse_rule("WHEN m7 motion.active IF c3.contact == closed THEN COMMAND p2 on")
+        )
+        return {"motion": motion, "contact": contact, "heater": heater}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["contact"].stimulate, "open")     # condition false
+        tb.sim.schedule(6.0, ctx["motion"].stimulate, "active")    # trigger: no fire
+        tb.sim.schedule(12.0, ctx["contact"].stimulate, "closed")  # condition true
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        delay = StateUpdateDelay(attacker, ctx["motion"])
+        ctx["operation"] = delay.arm(duration=20.0)  # trigger lands after +26
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        on_at = _first_action_time(ctx["heater"], "on")
+        return {
+            "heater_turned_on": on_at is not None,
+            "stale_triggers_suppressed": len(
+                tb.integration.engine.stale_triggers_suppressed
+            ),
+        }
+
+
+class DisorderedOppositeActions(Scenario):
+    """Extension case (Section V-B): disordering two opposite actions.
+
+    Two rules drive the same lock — presence unlocks it, door-closed locks
+    it.  When the user returns, the attacker holds 'presence.present' until
+    after the door has closed: the lock command executes first, then the
+    stale presence event spuriously unlocks — the door stays unlocked
+    overnight.
+    """
+
+    name = "ext-disordered-opposite-actions"
+    case_id = "Case V-B"
+    attack_type = TYPE_SPURIOUS_EXECUTION
+    description = "Presence unlocks / door-closed locks: actions disordered"
+    rule_source = "Section V-B"
+    duration = 120.0
+
+    def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
+        presence = tb.add_device("PR1")   # SmartThings session
+        contact = tb.add_device("C5")     # Tuya on-demand session
+        lock = tb.add_device("LK1")       # August session
+        tb.install_rule(parse_rule("WHEN pr1 presence.present THEN COMMAND lk1 unlock"))
+        tb.install_rule(parse_rule("WHEN c5 contact.closed THEN COMMAND lk1 lock"))
+        return {"presence": presence, "contact": contact, "lock": lock}
+
+    def timeline(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> None:
+        tb.sim.schedule(1.0, ctx["presence"].stimulate, "away")  # seed shadow
+        tb.sim.schedule(8.0, ctx["presence"].stimulate, "present")  # returns home
+        tb.sim.schedule(12.0, ctx["contact"].stimulate, "open")    # walks in
+        tb.sim.schedule(16.0, ctx["contact"].stimulate, "closed")  # door shuts
+
+    def attack(self, tb, ctx, attacker: PhantomDelayAttacker) -> None:
+        # Hold 'presence.present' past the door-closed lock command.
+        spurious = SpuriousExecution(attacker, ctx["presence"])
+        tb.sim.schedule(self.observe + 4.0, spurious.arm, 20.0)
+        ctx["spurious"] = spurious
+
+    def measure(self, tb: SmartHomeTestbed, ctx: dict[str, Any]) -> dict[str, Any]:
+        lock = ctx["lock"]
+        order = [name for _, name, _ in lock.actions_executed]
+        return {
+            "action_order": "->".join(order),
+            "final_state": lock.attribute_value,
+            "left_unlocked": lock.attribute_value == "unlocked",
+        }
+
+
+#: The paper's Table III, in order, plus the Figure 3 illustrations.
+TABLE3_SCENARIOS: list[Scenario] = [
+    Case1FrontDoorVoiceAlert(),
+    Case2MotionMobileAlert(),
+    Case3DoorCloseAutoLock(),
+    Case4ArmedHeaterOff(),
+    Case5DisarmOnUnlock(),
+    Case6BedroomHeater(),
+    Case7StudyWindow(),
+    Case8StormDoorUnlock(),
+    Case9DoorOpenText(),
+    Case10AutoLockOnLeave(),
+    Case11HeaterOffOnLeave(),
+]
+
+FIGURE3_SCENARIOS: list[Scenario] = [
+    Fig3aSmokeAlert(),
+    Fig3bWaterValve(),
+    Case8StormDoorUnlock(),  # Figure 3(c) is the storm-door case
+    Fig3dDoorCloseLockDisabled(),
+]
+
+
+def scenario_by_case(case_id: str) -> Scenario:
+    for scenario in TABLE3_SCENARIOS + FIGURE3_SCENARIOS:
+        if scenario.case_id == case_id:
+            return scenario
+    raise LookupError(f"no scenario for {case_id!r}")

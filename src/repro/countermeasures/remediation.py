@@ -1,0 +1,120 @@
+"""Remedial actions: the Section VII-B "what if the server reacts?" analysis.
+
+Timestamp checking can *detect* that a condition event arrived stale; the
+natural next step is remediation — re-evaluate rules whose condition just
+turned out to have been wrong and undo the damage (re-lock the door).
+The paper's verdict, which the experiment reproduces: "the burglar could
+have already entered" — remediation bounds the damage window but cannot
+prevent it.
+
+The :class:`RemediationPolicy` watches an automation engine: when an event
+arrives whose device timestamp *predates* a recent rule firing that used
+that device's attribute as its condition, and the stale value contradicts
+what the condition required, a compensating command is issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..automation.engine import AutomationEngine
+from ..automation.rules import CommandAction, RuleFiring
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.scheduler import Simulator
+
+#: Inverse commands for compensation.
+COMPENSATIONS: dict[str, str] = {
+    "unlock": "lock",
+    "lock": "unlock",
+    "on": "off",
+    "off": "on",
+    "open": "close",
+    "close": "open",
+    "disarm": "arm-away",
+}
+
+
+@dataclass
+class Remediation:
+    ts: float
+    rule_id: str
+    compensating_command: str
+    target_device: str
+    #: How long the spurious state existed before we undid it.
+    exposure: float
+
+
+@dataclass
+class RemediationPolicy:
+    """Undo actions whose condition turns out to have been stale."""
+
+    sim: "Simulator"
+    engine: AutomationEngine
+    #: How far back a firing can be compensated.
+    lookback: float = 120.0
+    remediations: list[Remediation] = field(default_factory=list)
+    _installed: bool = False
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._installed = True
+        original = self.engine.handle_event
+
+        def wrapped(device_id, event_name, device_time, data=None):
+            firings = original(device_id, event_name, device_time, data)
+            self._check_stale_condition(device_id, event_name, device_time)
+            return firings
+
+        self.engine.handle_event = wrapped  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------ internals
+
+    def _check_stale_condition(
+        self, device_id: str, event_name: str, device_time: float
+    ) -> None:
+        if "." not in event_name:
+            return
+        attribute, value = event_name.split(".", 1)
+        for firing in reversed(self.engine.firings):
+            if self.sim.now - firing.ts > self.lookback:
+                break
+            if not firing.action_taken:
+                continue
+            rule = self._rule_of(firing)
+            if rule is None or rule.condition is None:
+                continue
+            condition = rule.condition
+            if condition.device_id != device_id or condition.attribute != attribute:
+                continue
+            # The event was *generated before* the firing but arrived after,
+            # and its value contradicts what the condition required.
+            if device_time < firing.ts and value != condition.equals:
+                self._compensate(firing, rule, device_time)
+                return
+
+    def _rule_of(self, firing: RuleFiring):
+        for rule in self.engine.rules:
+            if rule.rule_id == firing.rule_id:
+                return rule
+        return None
+
+    def _compensate(self, firing: RuleFiring, rule, stale_device_time: float) -> None:
+        action = rule.action
+        if not isinstance(action, CommandAction):
+            return
+        inverse = COMPENSATIONS.get(action.command)
+        if inverse is None:
+            return
+        self.engine.command_sink(action.device_id, inverse, {})
+        self.remediations.append(
+            Remediation(
+                ts=self.sim.now,
+                rule_id=rule.rule_id,
+                compensating_command=inverse,
+                target_device=action.device_id,
+                exposure=self.sim.now - firing.ts,
+            )
+        )

@@ -1,0 +1,80 @@
+"""Countermeasure B (Section VII-B): timestamp checking.
+
+Messages carry the device's generation timestamp; the receiver refuses to
+*act on* (trigger automations from) events older than a freshness window.
+The paper's analysis, which the experiments reproduce:
+
+* **stops** spurious execution caused by a *delayed trigger* — the stale
+  trigger is refused;
+* **does not stop** state-update/action delay attacks (the event is simply
+  late, acting on it late is all a server can do), nor erroneous execution
+  via *delayed condition events* — at trigger time the condition looks
+  satisfied and the action (unlocking the door for the burglar of Case 8)
+  is issued before any remediation could matter.
+
+The mechanism itself lives in
+:class:`repro.automation.engine.AutomationEngine` (``trigger_max_age``) and
+is switched on per testbed via ``trigger_timestamp_window``; this module
+adds the attacker-side freshness scenario used by the evaluation, plus a
+detection-only variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..alarms import AlarmLog
+from ..appproto.messages import IoTMessage
+from ..cloud.endpoint import EndpointServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.scheduler import Simulator
+
+ALARM_DELAYED_MESSAGE = "delayed-message-detected"
+
+
+@dataclass
+class DelayDetection:
+    ts: float
+    device_id: str
+    event_name: str
+    age: float
+
+
+@dataclass
+class DelayAnomalyDetector:
+    """Detection-only timestamp checking at an endpoint server.
+
+    Rather than refusing stale events, raise an alarm so the household
+    learns an on-path delay attack is in progress.  This is the natural
+    'remedial action' extension the paper hints at; the countermeasures
+    bench shows it catches every delay beyond its threshold — at the price
+    of false alarms whenever benign latency exceeds it.
+    """
+
+    sim: "Simulator"
+    alarm_log: AlarmLog
+    threshold: float
+    source: str = "delay-detector"
+    detections: list[DelayDetection] = field(default_factory=list)
+
+    def attach(self, endpoint: EndpointServer) -> None:
+        endpoint.event_hooks.append(self._on_event)
+
+    def _on_event(self, source_id: str, message: IoTMessage, _session) -> None:
+        age = self.sim.now - message.device_time
+        if age > self.threshold:
+            self.detections.append(
+                DelayDetection(
+                    ts=self.sim.now,
+                    device_id=source_id,
+                    event_name=message.name,
+                    age=age,
+                )
+            )
+            self.alarm_log.raise_alarm(
+                ALARM_DELAYED_MESSAGE,
+                self.source,
+                f"event '{message.name}' from {source_id} arrived {age:.1f}s stale",
+            )

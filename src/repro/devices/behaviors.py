@@ -1,0 +1,75 @@
+"""Per-kind device behaviour: attributes, stimuli, and command effects.
+
+A device kind defines one primary attribute (``contact``, ``motion``,
+``lock`` ...), which physical stimuli may set it (sensor side) and which
+commands may set it (actuator side).  Actuators report their state change
+back as an event after executing a command — the behaviour the paper's
+action-disordering attack (Section V-B) depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KindBehavior:
+    """What one device kind can sense and do."""
+
+    attribute: str
+    initial: str
+    #: Attribute values that physical stimulation may produce.
+    sensor_values: tuple[str, ...] = ()
+    #: Command name -> resulting attribute value (None = no state change,
+    #: e.g. a speaker announcement).
+    commands: dict[str, str | None] = field(default_factory=dict)
+
+    def event_name(self, value: str) -> str:
+        """Canonical event name for an attribute change."""
+        return f"{self.attribute}.{value}"
+
+
+KIND_BEHAVIORS: dict[str, KindBehavior] = {
+    "contact": KindBehavior("contact", "closed", ("open", "closed")),
+    "motion": KindBehavior("motion", "inactive", ("active", "inactive")),
+    "presence": KindBehavior("presence", "present", ("present", "away")),
+    "occupancy": KindBehavior("occupancy", "vacant", ("occupied", "vacant")),
+    "button": KindBehavior("button", "idle", ("pushed", "held")),
+    "keypad": KindBehavior("keypad", "idle", ("code-entered", "panic")),
+    "water-leak": KindBehavior("water", "dry", ("wet", "dry")),
+    "smoke": KindBehavior("smoke", "clear", ("detected", "clear")),
+    "camera": KindBehavior("motion", "inactive", ("active", "inactive")),
+    "light": KindBehavior(
+        "switch", "off", ("on", "off"), {"on": "on", "off": "off"}
+    ),
+    "plug": KindBehavior(
+        "switch", "off", ("on", "off"), {"on": "on", "off": "off"}
+    ),
+    "speaker": KindBehavior("speaker", "idle", (), {"announce": None}),
+    "lock": KindBehavior(
+        "lock", "locked", ("locked", "unlocked"), {"lock": "locked", "unlock": "unlocked"}
+    ),
+    "valve": KindBehavior(
+        "valve", "open", (), {"open": "open", "close": "closed"}
+    ),
+    "garage": KindBehavior(
+        "door", "closed", ("open", "closed"), {"open": "open", "close": "closed"}
+    ),
+    "thermostat": KindBehavior(
+        "mode", "off", (), {"heat": "heat", "cool": "cool", "off": "off"}
+    ),
+    "siren": KindBehavior("alarm", "off", (), {"on": "on", "off": "off"}),
+    "security-base": KindBehavior(
+        "security", "disarmed",
+        ("triggered", "armed-away", "armed-home", "disarmed"),
+        {"arm-away": "armed-away", "arm-home": "armed-home", "disarm": "disarmed"},
+    ),
+    "hub": KindBehavior("status", "online"),
+}
+
+
+def behavior_for(kind: str) -> KindBehavior:
+    try:
+        return KIND_BEHAVIORS[kind]
+    except KeyError:
+        raise ValueError(f"no behaviour defined for device kind {kind!r}") from None

@@ -1,0 +1,29 @@
+"""Small shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from ..devices.base import HubChildDevice, IoTDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.scheduler import Simulator
+
+
+def run_until(sim: "Simulator", predicate: Callable[[], bool], timeout: float) -> bool:
+    """Advance the simulation until ``predicate`` holds or ``timeout`` passes."""
+    deadline = sim.now + timeout
+    while not predicate():
+        nxt = sim.peek()
+        if nxt is None or nxt > deadline:
+            sim.run_until(deadline)
+            return predicate()
+        sim.step()
+    return True
+
+
+def uplink_ip_of(device: IoTDevice) -> str:
+    """The LAN address whose TCP session carries this device's messages."""
+    if isinstance(device, HubChildDevice):
+        return device.hub.ip
+    return device.host.ip  # type: ignore[attr-defined]

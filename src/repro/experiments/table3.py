@@ -1,0 +1,118 @@
+"""Experiment E3: regenerate Table III (the 11 PoC attack cases).
+
+Every case runs twice — identical home, identical physical timeline, with
+and without the attacker — and the row reports the consequence column of
+the paper's Table III plus stealth (alarm counts must be zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis.reporting import TextTable
+from ..core.attacks.base import Scenario, ScenarioResult, compare_scenario
+from ..core.attacks.scenarios import FIGURE3_SCENARIOS, TABLE3_SCENARIOS
+
+
+@dataclass
+class CaseRow:
+    scenario: Scenario
+    baseline: ScenarioResult
+    attacked: ScenarioResult
+
+    @property
+    def consequence_reproduced(self) -> bool:
+        """Did the attack change the outcome the way the paper reports?"""
+        return _consequence_holds(self.scenario, self.baseline, self.attacked)
+
+    @property
+    def stealthy(self) -> bool:
+        return self.attacked.stealthy
+
+
+def _consequence_holds(
+    scenario: Scenario, baseline: ScenarioResult, attacked: ScenarioResult
+) -> bool:
+    b, a = baseline.metrics, attacked.metrics
+    kind = scenario.attack_type
+    if kind == "state-update-delay":
+        if scenario.case_id == "Case 4":
+            return bool(b.get("heater_turned_off")) and not a.get("heater_turned_off")
+        return (
+            a.get("alert_latency") is not None
+            and b.get("alert_latency") is not None
+            and a["alert_latency"] > b["alert_latency"] + 10.0
+        )
+    if kind == "action-delay":
+        if scenario.case_id == "Case 4":
+            return bool(b.get("heater_turned_off")) and not a.get("heater_turned_off")
+        key = "lock_latency" if "lock_latency" in b else "shutoff_latency"
+        return (
+            a.get(key) is not None
+            and b.get(key) is not None
+            and a[key] > b[key] + 10.0
+        )
+    if kind == "spurious-execution":
+        flag = _spurious_flag(b)
+        return not b.get(flag) and bool(a.get(flag))
+    if kind == "disabled-execution":
+        flag = _disabled_flag(b)
+        return bool(b.get(flag)) and not a.get(flag)
+    return False
+
+
+def _spurious_flag(metrics: dict[str, Any]) -> str:
+    for key in ("disarmed", "heater_turned_on", "window_opened", "unlocked"):
+        if key in metrics:
+            return key
+    raise KeyError(f"no spurious flag in {metrics}")
+
+
+def _disabled_flag(metrics: dict[str, Any]) -> str:
+    for key in ("warning_sent", "auto_locked", "heater_turned_off"):
+        if key in metrics:
+            return key
+    raise KeyError(f"no disabled flag in {metrics}")
+
+
+def run_table3(seed: int = 3, scenarios: list[Scenario] | None = None) -> list[CaseRow]:
+    rows = []
+    for scenario in scenarios or TABLE3_SCENARIOS:
+        baseline, attacked = compare_scenario(scenario, seed=seed)
+        rows.append(CaseRow(scenario=scenario, baseline=baseline, attacked=attacked))
+    return rows
+
+
+def run_figure3(seed: int = 3) -> list[CaseRow]:
+    return run_table3(seed=seed, scenarios=FIGURE3_SCENARIOS)
+
+
+def _headline(metrics: dict[str, Any]) -> str:
+    parts = []
+    for key, value in metrics.items():
+        if key in ("stealthy_hold", "achieved_delay", "combined_window"):
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.1f}")
+        else:
+            parts.append(f"{key}={value}")
+    return ", ".join(parts)
+
+
+def render_table3(rows: list[CaseRow], title: str = "Table III — PoC attack cases") -> str:
+    table = TextTable(
+        ["Case", "Type", "Rule", "Without attack", "With attack", "Reproduced", "Stealthy"],
+        title=title,
+    )
+    for row in rows:
+        table.add_row(
+            row.scenario.case_id,
+            row.scenario.attack_type,
+            row.scenario.description,
+            _headline(row.baseline.metrics),
+            _headline(row.attacked.metrics),
+            "yes" if row.consequence_reproduced else "NO",
+            "yes" if row.stealthy else "NO",
+        )
+    return table.render()

@@ -1,0 +1,51 @@
+"""A host on the public Internet (cloud server chassis).
+
+Cloud IoT servers do not sit on the home LAN; they are reachable only
+through the WAN.  :class:`CloudHost` provides the same minimal surface as
+:class:`~repro.simnet.host.Host` that the TCP stack needs — ``ip``,
+``send_ip`` and an ``ip_handler`` — without any layer-2 machinery, since the
+paper's attacker never touches the WAN side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from .inet import Internet
+from .packet import EthernetFrame, IpPacket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+
+class CloudHost:
+    """A public-IP host attached directly to the simulated Internet."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        internet: Internet,
+        ip: str,
+        hostname: str,
+        domain: str | None = None,
+    ) -> None:
+        self.sim = sim
+        self.internet = internet
+        self.ip = ip
+        self.hostname = hostname
+        self.domain = domain
+        self.ip_handler: Callable[[IpPacket], None] | None = None
+        self.frame_taps: list[Callable[[EthernetFrame], None]] = []
+        internet.attach(ip, self._on_packet)
+        if domain is not None:
+            internet.dns.register(domain, ip)
+
+    def send_ip(self, packet: IpPacket) -> None:
+        self.internet.send(packet)
+
+    def _on_packet(self, packet: IpPacket) -> None:
+        if self.ip_handler is not None:
+            self.ip_handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CloudHost({self.hostname} ip={self.ip} domain={self.domain})"

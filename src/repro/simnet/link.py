@@ -1,0 +1,115 @@
+"""Layer-2 media: NICs and the WiFi-like broadcast LAN.
+
+The home LAN is modelled as a single broadcast domain with per-hop latency.
+Two properties of real WiFi matter for the paper and are preserved:
+
+* every frame is observable by a promiscuous NIC (the attacker's sniffing
+  step needs only metadata of frames it overhears), and
+* delivery is addressed by MAC, so poisoning an ARP cache redirects IP
+  traffic at layer 2 without any cooperation from the victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from .packet import BROADCAST_MAC, EthernetFrame, MacPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+FrameHandler = Callable[[EthernetFrame], None]
+
+#: Default one-hop LAN latency in seconds (a quiet home WiFi network).
+DEFAULT_LAN_LATENCY = 0.002
+
+
+@dataclass
+class Nic:
+    """A network interface attached to one :class:`Lan`."""
+
+    mac: str
+    handler: FrameHandler
+    promiscuous: bool = False
+    lan: "Lan | None" = field(default=None, repr=False)
+
+    def send(self, frame: EthernetFrame) -> None:
+        if self.lan is None:
+            raise RuntimeError(f"NIC {self.mac} is not attached to a LAN")
+        self.lan.transmit(frame, sender=self)
+
+
+class Lan:
+    """A broadcast domain with uniform per-frame latency.
+
+    ``transmit`` schedules delivery to the addressed NIC (or all NICs for
+    broadcast) and, regardless of addressing, to every promiscuous NIC —
+    which is how the attacker's sniffer sees traffic it is not a party to.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str = "home-lan",
+        latency: float = DEFAULT_LAN_LATENCY,
+        jitter: float = 0.0,
+        mac_pool: MacPool | None = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        #: Extra uniform random delay per frame (deterministic via the
+        #: simulator's seeded RNG) — contention on a busy WiFi channel.
+        self.jitter = jitter
+        self._macs = mac_pool or MacPool()
+        self._nics: dict[str, Nic] = {}
+        self.frames_transmitted = 0
+        self.bytes_transmitted = 0
+
+    def attach(self, handler: FrameHandler, promiscuous: bool = False) -> Nic:
+        """Create a NIC on this LAN delivering inbound frames to ``handler``."""
+        nic = Nic(mac=self._macs.allocate(), handler=handler, promiscuous=promiscuous)
+        nic.lan = self
+        self._nics[nic.mac] = nic
+        return nic
+
+    def detach(self, nic: Nic) -> None:
+        self._nics.pop(nic.mac, None)
+        nic.lan = None
+
+    def nic_by_mac(self, mac: str) -> Nic | None:
+        return self._nics.get(mac)
+
+    def transmit(self, frame: EthernetFrame, sender: Nic) -> None:
+        """Queue ``frame`` for delivery after one LAN latency."""
+        self.frames_transmitted += 1
+        self.bytes_transmitted += frame.byte_size()
+        delay = self.latency
+        if self.jitter > 0:
+            delay += self.sim.rng.uniform(0.0, self.jitter)
+        self.sim.schedule(
+            delay, self._deliver, frame, sender.mac, label=f"lan:{self.name}"
+        )
+
+    def _deliver(self, frame: EthernetFrame, sender_mac: str) -> None:
+        delivered_to: set[str] = set()
+        if frame.dst_mac == BROADCAST_MAC:
+            for mac, nic in list(self._nics.items()):
+                if mac != sender_mac:
+                    delivered_to.add(mac)
+                    nic.handler(frame)
+        else:
+            nic = self._nics.get(frame.dst_mac)
+            if nic is not None:
+                delivered_to.add(nic.mac)
+                nic.handler(frame)
+        # Promiscuous NICs overhear everything on the air, including frames
+        # they already received as the addressee (delivered once only).
+        for mac, nic in list(self._nics.items()):
+            if nic.promiscuous and mac != sender_mac and mac not in delivered_to:
+                nic.handler(frame)

@@ -1,0 +1,120 @@
+"""Wire formats for the simulated network.
+
+Frames carry real structure — MAC/IP addresses, ARP operations, and nested
+payloads that report their serialised size — because two parts of the paper
+depend on byte-level fidelity:
+
+* traffic fingerprinting recognises devices purely from *packet lengths and
+  timing* of encrypted flows (Section II-C / VI-B), and
+* the TLS record layer MAC covers exact bytes, so the hijacker can delay but
+  never alter them (Section IV).
+
+Everything above the IP layer is an object with a ``byte_size()``; link and
+capture code treats payloads opaquely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+#: Broadcast MAC address, used by ARP requests.
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+ETHERNET_HEADER_BYTES = 14
+IPV4_HEADER_BYTES = 20
+ARP_BODY_BYTES = 28
+
+_packet_ids = itertools.count(1)
+
+
+@runtime_checkable
+class Sized(Protocol):
+    """Anything that knows its serialised size can ride inside a packet."""
+
+    def byte_size(self) -> int: ...
+
+
+def _payload_size(payload: Any) -> int:
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, Sized):
+        return payload.byte_size()
+    raise TypeError(f"payload has no byte_size(): {type(payload)!r}")
+
+
+class MacPool:
+    """Deterministic MAC address allocator (one per simulated NIC)."""
+
+    def __init__(self, prefix: str = "02:00:00") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def allocate(self) -> str:
+        n = next(self._counter)
+        if n > 0xFFFFFF:
+            raise RuntimeError("MAC pool exhausted")
+        return f"{self._prefix}:{(n >> 16) & 0xFF:02x}:{(n >> 8) & 0xFF:02x}:{n & 0xFF:02x}"
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """ARP request/reply body.
+
+    ARP spoofing — the paper's session-hijacking mechanism — is just an
+    unsolicited reply whose ``sender_mac`` is the attacker's NIC.
+    """
+
+    op: str  # "request" | "reply"
+    sender_mac: str
+    sender_ip: str
+    target_mac: str
+    target_ip: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("request", "reply"):
+            raise ValueError(f"bad ARP op: {self.op!r}")
+
+    def byte_size(self) -> int:
+        return ARP_BODY_BYTES
+
+
+@dataclass(frozen=True)
+class IpPacket:
+    """Minimal IPv4 packet: addressing plus an opaque upper-layer payload."""
+
+    src_ip: str
+    dst_ip: str
+    payload: Any
+    ttl: int = 64
+
+    def byte_size(self) -> int:
+        return IPV4_HEADER_BYTES + _payload_size(self.payload)
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """A layer-2 frame on the simulated WiFi broadcast medium."""
+
+    src_mac: str
+    dst_mac: str
+    payload: Any  # ArpPacket | IpPacket
+    frame_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def byte_size(self) -> int:
+        return ETHERNET_HEADER_BYTES + _payload_size(self.payload)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst_mac == BROADCAST_MAC
+
+    def describe(self) -> str:
+        """One-line summary used by traces and debugging output."""
+        kind = type(self.payload).__name__
+        return (
+            f"#{self.frame_id} {self.src_mac} -> {self.dst_mac} "
+            f"{kind} ({self.byte_size()}B)"
+        )

@@ -1,0 +1,161 @@
+"""Discrete-event scheduler.
+
+The scheduler is the heartbeat of the whole reproduction: TCP retransmission
+and keep-alive timers, MQTT PINGREQ periods, HTTP response timeouts, sensor
+trigger timelines, and the attacker's hold-and-release schedules are all
+events on a single priority queue.  Determinism matters — two runs with the
+same seed and the same timeline must produce identical packet traces — so
+ties are broken by insertion order, never by object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .clock import Clock
+
+
+@dataclass(order=True)
+class _Entry:
+    when: float
+    seq: int
+    timer: "Timer" = field(compare=False)
+
+
+class Timer:
+    """Handle for a scheduled callback.
+
+    A fired or cancelled timer is inert; ``cancel()`` is idempotent so
+    protocol state machines can cancel defensively.
+    """
+
+    __slots__ = ("callback", "args", "when", "_cancelled", "_fired", "label")
+
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.when = when
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not yet fired nor cancelled)."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self.active else ("fired" if self._fired else "cancelled")
+        return f"Timer({self.label or self.callback!r} @ {self.when:.3f}, {state})"
+
+
+class Simulator:
+    """Event loop owning the virtual :class:`Clock`.
+
+    Components schedule callbacks with :meth:`schedule` (relative delay) or
+    :meth:`at` (absolute time).  ``run_until`` / ``run`` drive the loop.  The
+    simulator also owns a seeded :class:`random.Random` so that jitter (for
+    example TCP retransmission backoff randomisation) is reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = Clock()
+        self.rng = random.Random(seed)
+        self._queue: list[_Entry] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._max_events = 50_000_000  # runaway-loop backstop
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Timer:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay}")
+        return self.at(self.now + delay, callback, *args, label=label)
+
+    def at(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        timer = Timer(when, callback, args, label=label)
+        heapq.heappush(self._queue, _Entry(when, next(self._seq), timer))
+        return timer
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any, label: str = "") -> Timer:
+        """Schedule a callback at the current instant (after pending events)."""
+        return self.at(self.now, callback, *args, label=label)
+
+    def peek(self) -> float | None:
+        """Time of the next pending event, or None when the queue is drained."""
+        while self._queue and not self._queue[0].timer.active:
+            heapq.heappop(self._queue)
+        return self._queue[0].when if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when nothing is pending."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            timer = entry.timer
+            if not timer.active:
+                continue
+            self.clock.advance_to(entry.when)
+            timer._fired = True
+            self._events_processed += 1
+            if self._events_processed > self._max_events:
+                raise RuntimeError("simulation exceeded event budget; runaway loop?")
+            timer.callback(*timer.args)
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Process events until the clock reaches ``deadline``.
+
+        Events scheduled exactly at ``deadline`` are executed; the clock never
+        moves past ``deadline`` even if the queue holds later events.
+        """
+        while True:
+            nxt = self.peek()
+            if nxt is None or nxt > deadline:
+                break
+            self.step()
+        self.clock.advance_to(max(self.clock.now, deadline))
+
+    def run(self, for_duration: float | None = None) -> None:
+        """Run for ``for_duration`` seconds, or drain the queue when None."""
+        if for_duration is not None:
+            self.run_until(self.now + for_duration)
+            return
+        while self.step():
+            pass

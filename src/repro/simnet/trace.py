@@ -1,0 +1,209 @@
+"""Promiscuous packet capture and flow accounting.
+
+This is the attacker's tcpdump: attached to a (usually promiscuous) host, it
+records every frame the NIC sees with a timestamp.  Crucially, it never looks
+*inside* TLS — the capture exposes exactly the metadata the paper's sniffing
+step consumes: addressing, ports, sizes, and timing.  The fingerprinting
+module (:mod:`repro.core.fingerprint`) is built on these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, TYPE_CHECKING
+
+from .host import Host
+from .packet import EthernetFrame, IpPacket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Canonical (order-independent) identifier of a TCP flow."""
+
+    ip_a: str
+    port_a: int
+    ip_b: str
+    port_b: int
+
+    @staticmethod
+    def of(src_ip: str, src_port: int, dst_ip: str, dst_port: int) -> "FlowKey":
+        a = (src_ip, src_port)
+        b = (dst_ip, dst_port)
+        lo, hi = (a, b) if a <= b else (b, a)
+        return FlowKey(lo[0], lo[1], hi[0], hi[1])
+
+    def involves_ip(self, ip: str) -> bool:
+        return ip in (self.ip_a, self.ip_b)
+
+    def other_ip(self, ip: str) -> str:
+        if ip == self.ip_a:
+            return self.ip_b
+        if ip == self.ip_b:
+            return self.ip_a
+        raise ValueError(f"{ip} is not an endpoint of {self}")
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One observed frame with its capture timestamp."""
+
+    ts: float
+    frame: EthernetFrame
+
+    @property
+    def byte_size(self) -> int:
+        return self.frame.byte_size()
+
+
+@dataclass(frozen=True)
+class PacketMeta:
+    """The metadata triple fingerprinting operates on."""
+
+    ts: float
+    size: int
+    from_device: bool  # direction relative to the LAN-side endpoint
+
+
+def _tcp_view(frame: EthernetFrame) -> tuple[IpPacket, object] | None:
+    """Return (ip, segment) when the frame carries something TCP-like."""
+    payload = frame.payload
+    if not isinstance(payload, IpPacket):
+        return None
+    segment = payload.payload
+    if segment is None or not hasattr(segment, "src_port") or not hasattr(segment, "dst_port"):
+        return None
+    return payload, segment
+
+
+class PacketCapture:
+    """A rolling capture attached to a host's frame tap."""
+
+    def __init__(self, sim: "Simulator", max_frames: int = 1_000_000) -> None:
+        self.sim = sim
+        self.max_frames = max_frames
+        self.frames: list[CapturedFrame] = []
+        self._attached: list[Host] = []
+
+    def attach(self, host: Host) -> None:
+        host.frame_taps.append(self._tap)
+        self._attached.append(host)
+
+    def detach(self, host: Host) -> None:
+        if self._tap in host.frame_taps:
+            host.frame_taps.remove(self._tap)
+        if host in self._attached:
+            self._attached.remove(host)
+
+    def clear(self) -> None:
+        self.frames.clear()
+
+    def _tap(self, frame: EthernetFrame) -> None:
+        if len(self.frames) >= self.max_frames:
+            # Keep the newest traffic; profiling works on recent windows.
+            del self.frames[: self.max_frames // 2]
+        self.frames.append(CapturedFrame(self.sim.now, frame))
+
+    # ------------------------------------------------------------- analysis
+
+    def tcp_frames(self) -> Iterable[tuple[CapturedFrame, IpPacket, object]]:
+        for captured in self.frames:
+            view = _tcp_view(captured.frame)
+            if view is not None:
+                yield captured, view[0], view[1]
+
+    def flows(self) -> dict[FlowKey, list[CapturedFrame]]:
+        """Group captured TCP traffic by canonical flow."""
+        out: dict[FlowKey, list[CapturedFrame]] = {}
+        for captured, ip, segment in self.tcp_frames():
+            key = FlowKey.of(ip.src_ip, segment.src_port, ip.dst_ip, segment.dst_port)
+            out.setdefault(key, []).append(captured)
+        return out
+
+    def flow_metadata(self, key: FlowKey, device_ip: str) -> list[PacketMeta]:
+        """Length/timing metadata of one flow, oriented around ``device_ip``.
+
+        Only frames that actually carry payload bytes are included — pure
+        ACKs are invisible to length-based fingerprinting in practice because
+        they are uniform.
+        """
+        metas: list[PacketMeta] = []
+        for captured, ip, segment in self.tcp_frames():
+            k = FlowKey.of(ip.src_ip, segment.src_port, ip.dst_ip, segment.dst_port)
+            if k != key:
+                continue
+            payload_len = getattr(segment, "payload_size", 0)
+            if not payload_len:
+                continue
+            metas.append(
+                PacketMeta(
+                    ts=captured.ts,
+                    size=payload_len,
+                    from_device=(ip.src_ip == device_ip),
+                )
+            )
+        return metas
+
+    def flows_involving(self, ip: str) -> list[FlowKey]:
+        return [key for key in self.flows() if key.involves_ip(ip)]
+
+    def flow_summary(self) -> list[dict]:
+        """Per-flow statistics: packet/byte counts, span, payload volume."""
+        out = []
+        for key, frames in self.flows().items():
+            payload_bytes = 0
+            data_packets = 0
+            for captured in frames:
+                segment = captured.frame.payload.payload  # type: ignore[union-attr]
+                size = getattr(segment, "payload_size", 0)
+                if size:
+                    payload_bytes += size
+                    data_packets += 1
+            out.append(
+                {
+                    "flow": f"{key.ip_a}:{key.port_a}<->{key.ip_b}:{key.port_b}",
+                    "packets": len(frames),
+                    "data_packets": data_packets,
+                    "payload_bytes": payload_bytes,
+                    "first_ts": frames[0].ts,
+                    "last_ts": frames[-1].ts,
+                }
+            )
+        out.sort(key=lambda row: row["first_ts"])
+        return out
+
+    def export_jsonl(self, path: str) -> int:
+        """Dump the capture as JSON lines (a pcap stand-in for analysis).
+
+        Only metadata is exported — timestamps, addressing, flags, and
+        payload sizes — mirroring what an analyst keeps from encrypted
+        captures.  Returns the number of records written.
+        """
+        import json
+
+        count = 0
+        with open(path, "w") as fh:
+            for captured in self.frames:
+                frame = captured.frame
+                record: dict = {
+                    "ts": round(captured.ts, 6),
+                    "src_mac": frame.src_mac,
+                    "dst_mac": frame.dst_mac,
+                    "bytes": frame.byte_size(),
+                    "kind": type(frame.payload).__name__,
+                }
+                payload = frame.payload
+                if isinstance(payload, IpPacket):
+                    record["src_ip"] = payload.src_ip
+                    record["dst_ip"] = payload.dst_ip
+                    segment = payload.payload
+                    if hasattr(segment, "src_port"):
+                        record["src_port"] = segment.src_port
+                        record["dst_port"] = segment.dst_port
+                        record["flags"] = sorted(segment.flags)
+                        record["payload_len"] = segment.payload_size
+                fh.write(json.dumps(record) + "\n")
+                count += 1
+        return count

@@ -1,0 +1,470 @@
+"""TCP connection state machine.
+
+This implements the parts of TCP the paper's analysis rests on
+(Section IV-A1):
+
+* a **retransmission timer** with exponential backoff — if every attempt
+  fails the connection is torn down and the upper layer is notified of the
+  timeout;
+* a **keep-alive timer** — after an idle period, probe segments are sent and
+  unanswered probes kill the connection;
+* cleartext, forgeable **acknowledgements** — the crucial weakness: an ACK
+  is valid if its numbers are right, with no cryptographic binding to the
+  payload it acknowledges.
+
+The attack works because a middle-box that immediately ACKs data and answers
+probes silences both timers while delivering nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from .segment import DEFAULT_MSS, TcpSegment, seq_add, seq_leq, seq_lt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stack import TcpStack
+
+# Connection states (RFC 793 subset).
+CLOSED = "CLOSED"
+LISTEN = "LISTEN"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+LAST_ACK = "LAST_ACK"
+CLOSING = "CLOSING"
+TIME_WAIT = "TIME_WAIT"
+
+# Close / failure reasons surfaced to the application layer.
+REASON_LOCAL_CLOSE = "local-close"
+REASON_REMOTE_CLOSE = "remote-close"
+REASON_RESET = "reset"
+REASON_RETRANSMIT_TIMEOUT = "retransmission-timeout"
+REASON_KEEPALIVE_TIMEOUT = "keepalive-timeout"
+
+
+@dataclass
+class TcpConfig:
+    """Tunable timer behaviour of one endpoint's TCP."""
+
+    mss: int = DEFAULT_MSS
+    rto_initial: float = 1.0
+    rto_max: float = 60.0
+    rto_backoff: float = 2.0
+    max_retransmits: int = 6
+    keepalive_enabled: bool = True
+    #: Idle time before the first keep-alive probe.  Real stacks default to
+    #: 7200 s; embedded IoT stacks configure far shorter values.
+    keepalive_idle: float = 60.0
+    keepalive_probe_interval: float = 10.0
+    keepalive_probe_count: int = 5
+    time_wait: float = 2.0
+
+
+@dataclass
+class TcpCallbacks:
+    """Application-layer hooks; all optional."""
+
+    on_connected: Callable[["TcpConnection"], None] | None = None
+    on_data: Callable[["TcpConnection", bytes], None] | None = None
+    on_closed: Callable[["TcpConnection", str], None] | None = None
+
+
+@dataclass
+class _Unacked:
+    segment: TcpSegment
+    first_sent: float
+    retransmits: int = 0
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection."""
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local_port: int,
+        remote_ip: str,
+        remote_port: int,
+        config: TcpConfig | None = None,
+        callbacks: TcpCallbacks | None = None,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.config = config or TcpConfig()
+        self.callbacks = callbacks or TcpCallbacks()
+
+        self.state = CLOSED
+        self.iss = self.sim.rng.randrange(0, 2**32)
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.rcv_nxt = 0
+
+        self._send_queue: list[bytes] = []
+        self._unacked: list[_Unacked] = []
+        self._ooo: dict[int, TcpSegment] = {}
+        self._retx_timer = None
+        self._keepalive_timer = None
+        self._probes_outstanding = 0
+        self._fin_sent = False
+        self._fin_queued = False
+        self._closed_notified = False
+        self._last_unsolicited_ack = float("-inf")
+
+        # Observability counters used by tests and the evaluation harness.
+        self.stats: dict[str, int] = {
+            "segments_sent": 0,
+            "segments_received": 0,
+            "bytes_sent": 0,
+            "bytes_delivered": 0,
+            "retransmissions": 0,
+            "keepalive_probes": 0,
+            "duplicate_acks_sent": 0,
+        }
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def local_ip(self) -> str:
+        return self.stack.host.ip
+
+    @property
+    def key(self) -> tuple[int, str, int]:
+        return (self.local_port, self.remote_ip, self.remote_port)
+
+    @property
+    def established(self) -> bool:
+        return self.state == ESTABLISHED
+
+    @property
+    def is_open(self) -> bool:
+        return self.state not in (CLOSED, TIME_WAIT, LISTEN)
+
+    # ----------------------------------------------------------- public API
+
+    def open_active(self) -> None:
+        """Client side: send SYN."""
+        if self.state != CLOSED:
+            raise RuntimeError(f"cannot connect from state {self.state}")
+        self.state = SYN_SENT
+        self._transmit(self._make_segment("SYN", payload=b""), reliable=True)
+
+    def open_passive_syn(self, syn: TcpSegment) -> None:
+        """Server side: a listener saw a SYN for us."""
+        self.rcv_nxt = seq_add(syn.seq, 1)
+        self.state = SYN_RCVD
+        self._transmit(self._make_segment("SYN", "ACK"), reliable=True)
+
+    def send(self, data: bytes) -> None:
+        """Queue application bytes for in-order reliable delivery."""
+        if not data:
+            return
+        if self.state not in (ESTABLISHED, CLOSE_WAIT):
+            raise RuntimeError(f"cannot send in state {self.state}")
+        if self._fin_queued or self._fin_sent:
+            raise RuntimeError("cannot send after close()")
+        view = memoryview(bytes(data))
+        for off in range(0, len(view), self.config.mss):
+            chunk = bytes(view[off : off + self.config.mss])
+            self._transmit(
+                self._make_segment("ACK", "PSH", payload=chunk), reliable=True
+            )
+        self.stats["bytes_sent"] += len(view)
+
+    def close(self) -> None:
+        """Orderly close: send FIN once in-flight data is acknowledged."""
+        if self.state in (CLOSED, TIME_WAIT, LAST_ACK, FIN_WAIT_1, FIN_WAIT_2, CLOSING):
+            return
+        self._fin_queued = True
+        self._maybe_send_fin()
+
+    def abort(self, reason: str = REASON_LOCAL_CLOSE) -> None:
+        """Hard teardown: emit RST and drop all state."""
+        if self.state == CLOSED:
+            return
+        rst = self._make_segment("RST", "ACK")
+        self._emit(rst)
+        self._enter_closed(reason)
+
+    # --------------------------------------------------------- segment path
+
+    def on_segment(self, segment: TcpSegment) -> None:
+        """Entry point from the stack demux."""
+        if self.state == CLOSED:
+            return
+        self.stats["segments_received"] += 1
+
+        if segment.rst:
+            if self.state != SYN_SENT or segment.ack_flag:
+                self._enter_closed(REASON_RESET, notify_peer=False)
+            return
+
+        if self.state == SYN_SENT:
+            self._on_segment_syn_sent(segment)
+            return
+        if self.state == SYN_RCVD and segment.ack_flag and not segment.syn:
+            if segment.ack == seq_add(self.iss, 1):
+                self._handle_ack(segment.ack)
+                self.state = ESTABLISHED
+                self._arm_keepalive()
+                self._notify_connected()
+                # fall through: the handshake ACK may carry data
+
+        # Any traffic from the peer proves the path is alive.
+        self._probes_outstanding = 0
+        if self.state in (ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2, CLOSE_WAIT, CLOSING, LAST_ACK):
+            if segment.ack_flag:
+                self._handle_ack(segment.ack)
+            if segment.payload or segment.fin:
+                self._handle_receive(segment)
+            elif not segment.syn and segment.seq != self.rcv_nxt:
+                # Payload-less segment outside the expected sequence — a
+                # keep-alive probe (seq one below the window), or a probe
+                # from a sender whose data is in flight elsewhere.  RFC 793
+                # requires acknowledging unacceptable segments; throttle so
+                # two desynchronised peers cannot enter a dup-ACK storm.
+                if self.sim.now - self._last_unsolicited_ack >= 0.5:
+                    self._last_unsolicited_ack = self.sim.now
+                    self._send_ack(duplicate=True)
+            self._arm_keepalive()
+
+    def _on_segment_syn_sent(self, segment: TcpSegment) -> None:
+        if segment.syn and segment.ack_flag and segment.ack == seq_add(self.iss, 1):
+            self.rcv_nxt = seq_add(segment.seq, 1)
+            self._handle_ack(segment.ack)
+            self.state = ESTABLISHED
+            self._send_ack()
+            self._arm_keepalive()
+            self._notify_connected()
+
+    # ------------------------------------------------------------ ACK logic
+
+    def _handle_ack(self, ack: int) -> None:
+        if not (seq_lt(self.snd_una, ack) and seq_leq(ack, self.snd_nxt)):
+            return
+        self.snd_una = ack
+        still_unacked: list[_Unacked] = []
+        for entry in self._unacked:
+            end = seq_add(entry.segment.seq, entry.segment.seq_space)
+            if not seq_leq(end, ack):
+                still_unacked.append(entry)
+        self._unacked = still_unacked
+        self._cancel_retx_timer()
+        if self._unacked:
+            self._arm_retx_timer(self.config.rto_initial)
+        if self._fin_sent and ack == self.snd_nxt:
+            self._on_fin_acked()
+        self._maybe_send_fin()
+
+    def _on_fin_acked(self) -> None:
+        if self.state == FIN_WAIT_1:
+            self.state = FIN_WAIT_2
+        elif self.state == CLOSING:
+            self._enter_time_wait()
+        elif self.state == LAST_ACK:
+            self._enter_closed(REASON_LOCAL_CLOSE, notify_peer=False)
+
+    # -------------------------------------------------------- receive logic
+
+    def _handle_receive(self, segment: TcpSegment) -> None:
+        if seq_lt(segment.seq, self.rcv_nxt) and not (
+            segment.seq == seq_add(self.rcv_nxt, -1) and not segment.payload
+        ):
+            # Old data (or a retransmission we already have): re-ACK it.
+            self._send_ack(duplicate=True)
+            return
+        if segment.seq == seq_add(self.rcv_nxt, -1) and not segment.payload:
+            # Keep-alive probe: seq one below the expected next byte.
+            self._send_ack(duplicate=True)
+            return
+        if segment.seq != self.rcv_nxt:
+            # Out of order: buffer and re-assert our expectation.
+            self._ooo[segment.seq] = segment
+            self._send_ack(duplicate=True)
+            return
+        self._accept_in_order(segment)
+        # Drain any now-contiguous out-of-order segments.
+        while self.rcv_nxt in self._ooo:
+            self._accept_in_order(self._ooo.pop(self.rcv_nxt))
+        self._send_ack()
+
+    def _accept_in_order(self, segment: TcpSegment) -> None:
+        if segment.payload:
+            self.rcv_nxt = seq_add(self.rcv_nxt, len(segment.payload))
+            self.stats["bytes_delivered"] += len(segment.payload)
+            if self.callbacks.on_data is not None:
+                self.callbacks.on_data(self, segment.payload)
+        if segment.fin:
+            self.rcv_nxt = seq_add(self.rcv_nxt, 1)
+            self._on_fin_received()
+
+    def _on_fin_received(self) -> None:
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+            self._notify_closed(REASON_REMOTE_CLOSE)
+            # Mirror the close: most IoT stacks immediately FIN back.
+            self.close()
+        elif self.state == FIN_WAIT_1:
+            self.state = CLOSING
+        elif self.state == FIN_WAIT_2:
+            self._enter_time_wait()
+
+    # ----------------------------------------------------------- FIN sending
+
+    def _maybe_send_fin(self) -> None:
+        if not self._fin_queued or self._fin_sent or self._unacked:
+            return
+        self._fin_sent = True
+        self._fin_queued = False
+        if self.state in (ESTABLISHED, SYN_RCVD):
+            self.state = FIN_WAIT_1
+        elif self.state == CLOSE_WAIT:
+            self.state = LAST_ACK
+        self._transmit(self._make_segment("FIN", "ACK"), reliable=True)
+
+    # ------------------------------------------------------------- transmit
+
+    def _make_segment(self, *flags: str, payload: bytes = b"") -> TcpSegment:
+        return TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_nxt,
+            ack=self.rcv_nxt,
+            flags=frozenset(flags),
+            payload=payload,
+        )
+
+    def _transmit(self, segment: TcpSegment, reliable: bool) -> None:
+        if reliable:
+            self.snd_nxt = seq_add(self.snd_nxt, segment.seq_space)
+            self._unacked.append(_Unacked(segment, first_sent=self.sim.now))
+            if self._retx_timer is None or not self._retx_timer.active:
+                self._arm_retx_timer(self.config.rto_initial)
+        self._emit(segment)
+
+    def _emit(self, segment: TcpSegment) -> None:
+        self.stats["segments_sent"] += 1
+        self.stack.send_segment(self, segment)
+
+    def _send_ack(self, duplicate: bool = False) -> None:
+        if duplicate:
+            self.stats["duplicate_acks_sent"] += 1
+        self._emit(self._make_segment("ACK"))
+
+    # ------------------------------------------------------ retransmission
+
+    def _arm_retx_timer(self, rto: float) -> None:
+        self._cancel_retx_timer()
+        self._retx_timer = self.sim.schedule(
+            rto, self._on_retx_timeout, rto, label=f"tcp-retx:{self.local_port}"
+        )
+
+    def _cancel_retx_timer(self) -> None:
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
+
+    def _on_retx_timeout(self, current_rto: float) -> None:
+        self._retx_timer = None
+        if not self._unacked or self.state == CLOSED:
+            return
+        oldest = self._unacked[0]
+        if oldest.retransmits >= self.config.max_retransmits:
+            # All attempts exhausted: terminate and tell the upper layer.
+            self.abort(REASON_RETRANSMIT_TIMEOUT)
+            return
+        oldest.retransmits += 1
+        self.stats["retransmissions"] += 1
+        self._emit(oldest.segment)
+        next_rto = min(current_rto * self.config.rto_backoff, self.config.rto_max)
+        # Paper: "random backoff intervals" — jitter the doubling slightly.
+        next_rto *= 1.0 + self.sim.rng.uniform(-0.1, 0.1)
+        self._arm_retx_timer(next_rto)
+
+    # ---------------------------------------------------------- keep-alive
+
+    def _arm_keepalive(self) -> None:
+        if not self.config.keepalive_enabled:
+            return
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+        self._keepalive_timer = self.sim.schedule(
+            self.config.keepalive_idle,
+            self._on_keepalive_idle,
+            label=f"tcp-ka:{self.local_port}",
+        )
+
+    def _on_keepalive_idle(self) -> None:
+        self._keepalive_timer = None
+        if self.state != ESTABLISHED:
+            return
+        if self._probes_outstanding >= self.config.keepalive_probe_count:
+            self.abort(REASON_KEEPALIVE_TIMEOUT)
+            return
+        self._probes_outstanding += 1
+        self.stats["keepalive_probes"] += 1
+        probe = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq_add(self.snd_nxt, -1),
+            ack=self.rcv_nxt,
+            flags=frozenset({"ACK"}),
+        )
+        self._emit(probe)
+        self._keepalive_timer = self.sim.schedule(
+            self.config.keepalive_probe_interval,
+            self._on_keepalive_idle,
+            label=f"tcp-ka:{self.local_port}",
+        )
+
+    # ------------------------------------------------------------- teardown
+
+    def _enter_time_wait(self) -> None:
+        self.state = TIME_WAIT
+        self.sim.schedule(
+            self.config.time_wait,
+            self._enter_closed,
+            REASON_LOCAL_CLOSE,
+            False,
+            label="tcp-time-wait",
+        )
+        self._notify_closed(REASON_LOCAL_CLOSE)
+
+    def _enter_closed(self, reason: str, notify_peer: bool = True) -> None:
+        if self.state == CLOSED:
+            return
+        self.state = CLOSED
+        self._cancel_retx_timer()
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+            self._keepalive_timer = None
+        self._unacked.clear()
+        self._ooo.clear()
+        self.stack.forget(self)
+        self._notify_closed(reason)
+
+    # ---------------------------------------------------------- app signals
+
+    def _notify_connected(self) -> None:
+        if self.callbacks.on_connected is not None:
+            self.callbacks.on_connected(self)
+
+    def _notify_closed(self, reason: str) -> None:
+        if self._closed_notified:
+            return
+        self._closed_notified = True
+        if self.callbacks.on_closed is not None:
+            self.callbacks.on_closed(self, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TcpConnection({self.local_ip}:{self.local_port} <-> "
+            f"{self.remote_ip}:{self.remote_port} {self.state})"
+        )

@@ -1,0 +1,108 @@
+"""TCP segment format.
+
+Segments carry real 32-bit sequence/acknowledgement numbers and genuine
+payload bytes.  The hijacker (:mod:`repro.core.hijacker`) reads and forges
+*headers only* — exactly what an on-path attacker can do against a
+TLS-protected session, since TCP headers are cleartext while payloads are
+TLS records it cannot alter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TCP_HEADER_BYTES = 20
+SEQ_MODULUS = 2**32
+
+#: Default maximum segment size used by the stack.
+DEFAULT_MSS = 1460
+
+
+def seq_add(seq: int, delta: int) -> int:
+    return (seq + delta) % SEQ_MODULUS
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """Modular 'a strictly before b' comparison (RFC 793 style)."""
+    return ((b - a) % SEQ_MODULUS) != 0 and ((b - a) % SEQ_MODULUS) < SEQ_MODULUS // 2
+
+
+def seq_leq(a: int, b: int) -> bool:
+    return a == b or seq_lt(a, b)
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """One TCP segment; flags are a frozenset of {SYN, ACK, FIN, RST, PSH}."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: frozenset[str] = field(default_factory=frozenset)
+    payload: bytes = b""
+    window: int = 65535
+
+    def __post_init__(self) -> None:
+        bad = self.flags - {"SYN", "ACK", "FIN", "RST", "PSH"}
+        if bad:
+            raise ValueError(f"unknown TCP flags: {bad}")
+
+    # -- convenience predicates -------------------------------------------
+
+    @property
+    def syn(self) -> bool:
+        return "SYN" in self.flags
+
+    @property
+    def ack_flag(self) -> bool:
+        return "ACK" in self.flags
+
+    @property
+    def fin(self) -> bool:
+        return "FIN" in self.flags
+
+    @property
+    def rst(self) -> bool:
+        return "RST" in self.flags
+
+    @property
+    def payload_size(self) -> int:
+        return len(self.payload)
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence-number space consumed (payload plus SYN/FIN)."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    def byte_size(self) -> int:
+        return TCP_HEADER_BYTES + len(self.payload)
+
+    def reversed_flow(self) -> tuple[int, int]:
+        return (self.dst_port, self.src_port)
+
+    def describe(self) -> str:
+        flag_str = ",".join(sorted(self.flags)) or "-"
+        return (
+            f"TCP {self.src_port}->{self.dst_port} [{flag_str}] "
+            f"seq={self.seq} ack={self.ack} len={len(self.payload)}"
+        )
+
+
+def make_segment(
+    src_port: int,
+    dst_port: int,
+    seq: int,
+    ack: int,
+    *flags: str,
+    payload: bytes = b"",
+) -> TcpSegment:
+    """Terse constructor used heavily by tests and the hijacker."""
+    return TcpSegment(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=frozenset(flags),
+        payload=payload,
+    )

@@ -1,0 +1,46 @@
+"""Simulated TLS: record protection decoupled from any timeout detection."""
+
+from .errors import (
+    AlertReceived,
+    HandshakeError,
+    MacVerificationError,
+    RecordFormatError,
+    SequenceViolationError,
+    TlsError,
+)
+from .record import (
+    CONTENT_ALERT,
+    CONTENT_APPLICATION,
+    CONTENT_HANDSHAKE,
+    HEADER_BYTES,
+    MAC_BYTES,
+    MAX_RECORD_PAYLOAD,
+    RecordReader,
+    RecordWriter,
+    TlsRecord,
+    derive_keys,
+)
+from .session import GLOBAL_ESCROW, KeyEscrow, RECORD_OVERHEAD, TlsSession
+
+__all__ = [
+    "AlertReceived",
+    "CONTENT_ALERT",
+    "CONTENT_APPLICATION",
+    "CONTENT_HANDSHAKE",
+    "GLOBAL_ESCROW",
+    "HEADER_BYTES",
+    "HandshakeError",
+    "KeyEscrow",
+    "MAC_BYTES",
+    "MAX_RECORD_PAYLOAD",
+    "MacVerificationError",
+    "RECORD_OVERHEAD",
+    "RecordFormatError",
+    "RecordReader",
+    "RecordWriter",
+    "SequenceViolationError",
+    "TlsError",
+    "TlsRecord",
+    "TlsSession",
+    "derive_keys",
+]

@@ -1,0 +1,125 @@
+"""Shared fixtures: simulators, network fabrics, and protocol pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alarms import AlarmLog
+from repro.appproto.base import DeviceProtocolClient, ProtocolConfig, ServerDeviceSession
+from repro.appproto.keepalive import KeepAlivePolicy
+from repro.simnet.cloudhost import CloudHost
+from repro.simnet.host import Host
+from repro.simnet.inet import Internet
+from repro.simnet.link import Lan
+from repro.simnet.router import Router
+from repro.simnet.scheduler import Simulator
+from repro.tcp.stack import TcpStack
+from repro.tls.session import KeyEscrow
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+class NetFabric:
+    """A LAN + WAN + router bundle with helpers to add hosts."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.lan = Lan(sim)
+        self.internet = Internet(sim)
+        self.router = Router(sim, self.lan, self.internet)
+        self._next_ip = 10
+        self._next_cloud = 1
+
+    def add_lan_host(self, name: str = "host", promiscuous: bool = False) -> Host:
+        ip = f"192.168.1.{self._next_ip}"
+        self._next_ip += 1
+        return Host(
+            self.sim, self.lan, ip=ip, hostname=name,
+            gateway_ip=self.router.ip, promiscuous=promiscuous,
+        )
+
+    def add_cloud_host(self, name: str = "cloud", domain: str | None = None) -> CloudHost:
+        ip = f"34.9.{self._next_cloud}.1"
+        self._next_cloud += 1
+        return CloudHost(self.sim, self.internet, ip=ip, hostname=name, domain=domain)
+
+
+@pytest.fixture
+def net(sim: Simulator) -> NetFabric:
+    return NetFabric(sim)
+
+
+class ProtocolPair:
+    """A device protocol client wired to one accepting server session."""
+
+    def __init__(
+        self,
+        net: NetFabric,
+        config: ProtocolConfig,
+        device_id: str = "dev-1",
+        server_config: ProtocolConfig | None = None,
+    ) -> None:
+        self.sim = net.sim
+        self.alarms = AlarmLog(net.sim)
+        self.escrow = KeyEscrow()
+        self.device_host = net.add_lan_host("device")
+        self.device_stack = TcpStack(self.device_host)
+        self.cloud = net.add_cloud_host("vendor", domain="vendor.example")
+        self.cloud_stack = TcpStack(self.cloud)
+        self.server_sessions: list[ServerDeviceSession] = []
+        self.events: list = []
+        self.commands_acked: list = []
+        srv_cfg = server_config or config
+
+        def on_accept(conn):
+            session = ServerDeviceSession(
+                conn,
+                config=srv_cfg,
+                alarm_log=self.alarms,
+                escrow=self.escrow,
+                server_name="vendor",
+                on_event=lambda s, m: self.events.append((self.sim.now, m)),
+            )
+            self.server_sessions.append(session)
+
+        self.cloud_stack.listen(8883, on_accept)
+        self.commands_received: list = []
+        self.client = DeviceProtocolClient(
+            stack=self.device_stack,
+            device_id=device_id,
+            server_ip=self.cloud.ip,
+            server_port=8883,
+            config=config,
+            alarm_log=self.alarms,
+            escrow=self.escrow,
+            on_command=lambda m: self.commands_received.append((self.sim.now, m)),
+        )
+
+    @property
+    def server(self) -> ServerDeviceSession:
+        live = [s for s in self.server_sessions if not s.closed]
+        return live[-1]
+
+    def start_and_settle(self, duration: float = 5.0) -> None:
+        self.client.start()
+        self.sim.run(duration)
+
+
+@pytest.fixture
+def mqtt_pair(net: NetFabric) -> ProtocolPair:
+    config = ProtocolConfig(
+        codec_name="mqtt",
+        keepalive=KeepAlivePolicy(period=30.0, strategy="on-idle"),
+        ka_response_timeout=15.0,
+        server_liveness_grace=15.0,
+        command_response_timeout=20.0,
+    )
+    return ProtocolPair(net, config)
+
+
+def make_pair(net: NetFabric, **config_kwargs) -> ProtocolPair:
+    """Build a protocol pair with custom configuration."""
+    return ProtocolPair(net, ProtocolConfig(**config_kwargs))

@@ -1,0 +1,306 @@
+"""Attacker substrate tests: spoofing, hijacking, fingerprinting, prediction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.arp_spoofer import ArpSpoofer
+from repro.core.attacker import PhantomDelayAttacker
+from repro.core.fingerprint import FingerprintDatabase, extract_observation
+from repro.core.hijacker import TcpHijacker, UPLINK, DOWNLINK
+from repro.core.predictor import (
+    CAUSE_EVENT_ACK,
+    CAUSE_KEEPALIVE_REPLY,
+    CAUSE_NONE,
+    CAUSE_SERVER_LIVENESS,
+    TimeoutBehavior,
+    TimeoutPredictor,
+)
+from repro.devices.profiles import CATALOGUE
+from repro.testbed import SmartHomeTestbed
+
+
+@pytest.fixture
+def home():
+    tb = SmartHomeTestbed(seed=42)
+    contact = tb.add_device("C2")
+    tb.settle(8.0)
+    attacker = PhantomDelayAttacker.deploy(tb)
+    return tb, contact, tb.devices["h1"], attacker
+
+
+class TestArpSpoofing:
+    def test_poison_redirects_victim_cache(self, home):
+        tb, _contact, hub, attacker = home
+        genuine = hub.host.arp.lookup(tb.router.ip)
+        attacker.interpose(hub.ip)
+        tb.run(1.0)
+        assert hub.host.arp.lookup(tb.router.ip) == attacker.host.mac
+        assert tb.router.arp.lookup(hub.ip) == attacker.host.mac
+        assert genuine != attacker.host.mac
+
+    def test_repoison_survives_cache_expiry(self, home):
+        tb, _contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(300.0)  # several ARP TTLs
+        assert hub.host.arp.lookup(tb.router.ip) == attacker.host.mac
+
+    def test_stop_allows_recovery(self, home):
+        tb, _contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(1.0)
+        attacker.spoofer.stop()
+        tb.run(200.0)  # poison expires; genuine ARP re-learned on demand
+        hub.client.send_event("probe")
+        tb.run(2.0)
+        assert hub.host.arp.lookup(tb.router.ip) == tb.router.mac
+
+    def test_traffic_still_flows_through_attacker(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(1.0)
+        before = attacker.hijacker.stats["forwarded"]
+        contact.stimulate("open")
+        tb.run(2.0)
+        assert attacker.hijacker.stats["forwarded"] > before
+        # ... and still reaches the cloud:
+        assert tb.endpoints["smartthings"].events_from("c2")
+
+    def test_discover_mac(self, home):
+        tb, _contact, hub, attacker = home
+        assert attacker.discover_mac(hub.ip) == hub.host.mac
+        assert attacker.discover_mac("192.168.1.254") is None
+
+    def test_scan(self, home):
+        tb, _contact, hub, attacker = home
+        found = attacker.scan([hub.ip, "192.168.1.250"])
+        assert found == {hub.ip: hub.host.mac}
+
+
+class TestHijackerHolds:
+    def test_pass_through_is_transparent(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(1.0)
+        contact.stimulate("open")
+        tb.run(120.0)
+        assert tb.alarms.silent
+
+    def test_hold_triggers_on_exact_size_only(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(35.0)
+        hold = attacker.hijacker.hold_events(hub.ip, trigger_size=999)  # no such size
+        contact.stimulate("open")
+        tb.run(5.0)
+        assert hold.triggered_at is None
+        assert tb.endpoints["smartthings"].events_from("c2")  # delivered
+
+    def test_hold_and_release_preserves_tls(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(35.0)
+        hold = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+        contact.stimulate("open")
+        tb.run(10.0)
+        assert hold.holding and hold.held_count == 1
+        assert not tb.endpoints["smartthings"].events_from("c2")
+        attacker.hijacker.release(hold)
+        tb.run(2.0)
+        events = tb.endpoints["smartthings"].events_from("c2")
+        assert len(events) == 1
+        assert tb.alarms.silent
+
+    def test_forged_ack_prevents_retransmission(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(35.0)
+        hold = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+        contact.stimulate("open")
+        tb.run(10.0)
+        conn = hub.stack.connections()[0]
+        assert conn.stats["retransmissions"] == 0
+        assert hold.forged_acks >= 1
+
+    def test_subsequent_messages_held_in_order(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(35.0)
+        hold = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+        contact.stimulate("open")
+        tb.run(1.0)
+        contact.stimulate("closed")
+        tb.run(1.0)
+        assert hold.held_count == 2
+        attacker.hijacker.release(hold)
+        tb.run(2.0)
+        names = [m.name for _, m in tb.endpoints["smartthings"].events_from("c2")]
+        assert names == ["contact.open", "contact.closed"]
+
+    def test_downlink_hold_delays_commands(self, home):
+        tb, _contact, hub, attacker = home
+        outlet = tb.add_device("P1")
+        tb.settle(5.0)
+        attacker.interpose(hub.ip)
+        tb.run(5.0)
+        hold = attacker.hijacker.hold_commands(hub.ip, trigger_size=336)
+        tb.endpoints["smartthings"].send_command("p1", "on")
+        tb.run(5.0)
+        assert hold.holding
+        assert outlet.attribute_value == "off"
+        attacker.hijacker.release(hold)
+        tb.run(2.0)
+        assert outlet.attribute_value == "on"
+
+    def test_cancel_untriggered_hold(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(1.0)
+        hold = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+        attacker.hijacker.cancel(hold)
+        contact.stimulate("open")
+        tb.run(2.0)
+        assert hold.triggered_at is None
+        assert tb.endpoints["smartthings"].events_from("c2")
+
+    def test_release_idempotent(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(35.0)
+        hold = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+        contact.stimulate("open")
+        tb.run(2.0)
+        attacker.hijacker.release(hold)
+        attacker.hijacker.release(hold)
+        tb.run(2.0)
+        assert len(tb.endpoints["smartthings"].events_from("c2")) == 1
+
+    def test_flow_events_record_lifecycle(self, home):
+        tb, _contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(1.0)
+        # Force a reconnect: stop and restart the hub's client.
+        hub.client.stop()
+        tb.run(5.0)
+        hub.client.start()
+        tb.run(5.0)
+        kinds = {e.kind for e in attacker.hijacker.flow_events}
+        assert "syn" in kinds and "fin" in kinds
+
+    def test_last_delivery_tracking(self, home):
+        tb, contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        tb.run(1.0)
+        contact.stimulate("open")
+        tb.run(2.0)
+        last = attacker.hijacker.last_delivery_from(hub.ip)
+        assert last is not None and last <= tb.now
+
+
+class TestFingerprinting:
+    def test_idle_observation_detects_keepalive(self, home):
+        tb, _contact, hub, attacker = home
+        attacker.interpose(hub.ip)
+        attacker.capture.clear()
+        tb.run(150.0)
+        obs = extract_observation(attacker.capture, hub.ip, tb.internet.dns)
+        assert len(obs) == 1
+        assert obs[0].long_live
+        assert obs[0].ka_wire_size == 40
+        assert obs[0].ka_period == pytest.approx(31.0, abs=0.5)
+        assert obs[0].server_domain == "api.smartthings.example"
+
+    def test_database_covers_catalogue(self):
+        db = FingerprintDatabase.from_catalogue()
+        assert len(db.signatures) == len(CATALOGUE)
+
+    def test_match_identifies_smartthings_hub(self, home):
+        tb, _contact, hub, attacker = home
+        results = attacker.survey(150.0, [hub.ip])
+        matches = results[hub.ip]
+        assert matches
+        assert matches[0].signature.label == "H1"
+
+    def test_classify_size_disambiguates_children(self):
+        db = FingerprintDatabase.from_catalogue()
+        hits = db.classify_size("fw.prd.ring.solution", 986)
+        assert [h.label for h in hits] == ["C1"]
+
+    def test_classify_size_rejects_wrong_domain(self):
+        db = FingerprintDatabase.from_catalogue()
+        assert db.classify_size("api.smartthings.example", 986) == []
+
+    def test_signature_lookup(self):
+        db = FingerprintDatabase.from_catalogue()
+        assert db.signature_of("H1").ka_period == 31.0
+        with pytest.raises(LookupError):
+            db.signature_of("ZZ")
+
+
+class TestPredictor:
+    def _behavior(self, **kw):
+        defaults = dict(
+            long_live=True, ka_period=31.0, ka_strategy="on-idle", ka_timeout=16.0,
+            event_timeout=None, command_timeout=None,
+        )
+        defaults.update(kw)
+        return TimeoutBehavior(**defaults)
+
+    def test_event_hold_on_idle_uses_server_liveness(self):
+        predictor = TimeoutPredictor(self._behavior())
+        prediction = predictor.event_hold_timeout(hold_start=100.0, last_delivered=100.0)
+        assert prediction.at == pytest.approx(147.0)
+        assert prediction.cause in (CAUSE_SERVER_LIVENESS, CAUSE_KEEPALIVE_REPLY)
+
+    def test_event_hold_phase_shifts_prediction(self):
+        predictor = TimeoutPredictor(self._behavior())
+        late_phase = predictor.event_hold_timeout(hold_start=100.0, last_delivered=80.0)
+        assert late_phase.at == pytest.approx(127.0)
+
+    def test_unknown_phase_is_conservative(self):
+        predictor = TimeoutPredictor(self._behavior())
+        prediction = predictor.event_hold_timeout(hold_start=100.0, last_delivered=None)
+        assert prediction.at == pytest.approx(116.0)  # grace only
+
+    def test_event_ack_timeout_dominates(self):
+        predictor = TimeoutPredictor(self._behavior(event_timeout=10.0))
+        prediction = predictor.event_hold_timeout(hold_start=0.0, last_delivered=0.0)
+        assert prediction.cause == CAUSE_EVENT_ACK
+        assert prediction.at == 10.0
+
+    def test_no_timeout_at_all(self):
+        behavior = TimeoutBehavior(long_live=True, ka_period=None, ka_timeout=None)
+        prediction = TimeoutPredictor(behavior).event_hold_timeout(0.0)
+        assert prediction.cause == CAUSE_NONE
+        assert not prediction.bounded
+
+    def test_max_safe_delay_applies_margin(self):
+        predictor = TimeoutPredictor(self._behavior(), margin=2.0)
+        assert predictor.max_safe_event_delay(100.0, last_delivered=100.0) == pytest.approx(45.0)
+
+    def test_max_safe_never_negative(self):
+        predictor = TimeoutPredictor(self._behavior(event_timeout=1.0), margin=5.0)
+        assert predictor.max_safe_event_delay(0.0) == 0.0
+
+    def test_command_hold_bounded_by_response_timeout(self):
+        predictor = TimeoutPredictor(self._behavior(command_timeout=21.0))
+        prediction = predictor.command_hold_timeout(hold_start=0.0, next_ka_send=100.0)
+        assert prediction.at == 21.0
+
+    def test_command_hold_bounded_by_ka_reply(self):
+        predictor = TimeoutPredictor(self._behavior())
+        prediction = predictor.command_hold_timeout(hold_start=0.0, next_ka_send=10.0)
+        assert prediction.at == pytest.approx(26.0)
+        assert prediction.cause == CAUSE_KEEPALIVE_REPLY
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            TimeoutPredictor(self._behavior(), margin=-1.0)
+
+    def test_behavior_from_profile_matches_windows(self):
+        for label in ("H1", "L2", "HS3", "M7"):
+            profile = CATALOGUE.get(label)
+            behavior = TimeoutBehavior.from_profile(profile)
+            assert behavior.event_delay_window() == profile.event_delay_window()

@@ -1,0 +1,195 @@
+"""Unit tests for the virtual clock and the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.clock import Clock
+from repro.simnet.scheduler import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=5.5).now == 5.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1.0)
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(start=2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_backwards_rejected(self):
+        clock = Clock(start=2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+
+class TestScheduling:
+    def test_schedule_runs_callback(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.run(2.0)
+        assert fired == ["x"]
+
+    def test_callback_sees_fire_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run(2.0)
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_at_absolute_time(self, sim):
+        fired = []
+        sim.at(3.0, fired.append, 1)
+        sim.run(5.0)
+        assert fired == [1]
+
+    def test_at_in_past_rejected(self, sim):
+        sim.run_until(2.0)
+        with pytest.raises(ValueError):
+            sim.at(1.0, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        sim.run_until(1.0)
+        seen = []
+        sim.call_soon(lambda: seen.append(sim.now))
+        sim.run(0.0)
+        assert seen == [1.0]
+
+    def test_fifo_for_simultaneous_events(self, sim):
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, order.append, i)
+        sim.run(2.0)
+        assert order == list(range(10))
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = sim.schedule(1.0, fired.append, 1)
+        timer.cancel()
+        sim.run(2.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        timer = sim.schedule(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert not timer.active
+
+    def test_timer_active_lifecycle(self, sim):
+        timer = sim.schedule(1.0, lambda: None)
+        assert timer.active
+        sim.run(2.0)
+        assert not timer.active
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run(5.0)
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunSemantics:
+    def test_run_until_stops_clock_at_deadline(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_executes_events_at_deadline(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        sim.run_until(5.0)
+        assert fired == [1]
+
+    def test_run_is_relative(self, sim):
+        sim.run(3.0)
+        sim.run(3.0)
+        assert sim.now == 6.0
+
+    def test_run_none_drains_queue(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(100.0, fired.append, 2)
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.now == 100.0
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_peek_skips_cancelled(self, sim):
+        timer = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        timer.cancel()
+        assert sim.peek() == 2.0
+
+    def test_peek_empty(self, sim):
+        assert sim.peek() is None
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(10.0)
+        assert sim.events_processed == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_stream(self):
+        a = Simulator(seed=9)
+        b = Simulator(seed=9)
+        assert [a.rng.random() for _ in range(10)] == [b.rng.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1)
+        b = Simulator(seed=2)
+        assert a.rng.random() != b.rng.random()
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=50))
+    def test_events_always_fire_in_time_order(self, delays):
+        sim = Simulator(seed=0)
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.integers(0, 5)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_ties_break_by_insertion_order(self, spec):
+        sim = Simulator(seed=0)
+        fired = []
+        for idx, (delay, _) in enumerate(spec):
+            sim.schedule(delay, fired.append, (delay, idx))
+        sim.run()
+        # Within one timestamp, insertion indices must ascend.
+        for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+            if t1 == t2:
+                assert i1 < i2

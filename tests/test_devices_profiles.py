@@ -1,0 +1,259 @@
+"""Device catalogue, behaviours, and runtime device tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.behaviors import KIND_BEHAVIORS, behavior_for
+from repro.devices.profiles import (
+    CATALOGUE,
+    Catalogue,
+    DeviceProfile,
+    HUB,
+    TABLE_CLOUD,
+    TABLE_LOCAL,
+)
+from repro.testbed import SmartHomeTestbed
+
+
+class TestCatalogueIntegrity:
+    def test_exactly_fifty_devices(self):
+        assert len(CATALOGUE) == 50
+
+    def test_table_split(self):
+        assert len(CATALOGUE.cloud_profiles()) == 36
+        assert len(CATALOGUE.local_profiles()) == 14
+
+    def test_keys_unique(self):
+        keys = [(p.label, p.table) for p in CATALOGUE]
+        assert len(keys) == len(set(keys))
+
+    def test_every_hub_child_has_its_hub(self):
+        for profile in CATALOGUE:
+            if profile.is_hub_child:
+                hub = CATALOGUE.get(profile.hub_label, TABLE_CLOUD)
+                assert hub.device_class == HUB or hub.kind == "security-base"
+
+    def test_children_inherit_hub_session_parameters(self):
+        for profile in CATALOGUE:
+            if not profile.is_hub_child:
+                continue
+            hub = CATALOGUE.get(profile.hub_label, TABLE_CLOUD)
+            assert profile.ka_period == hub.ka_period
+            assert profile.ka_grace == hub.ka_grace
+            assert profile.server == hub.server
+            assert profile.codec_name == hub.codec_name
+
+    def test_every_kind_has_behavior(self):
+        for profile in CATALOGUE:
+            behavior_for(profile.kind)  # must not raise
+
+    def test_lookup(self):
+        assert CATALOGUE.get("H1").model == "SmartThings Hub v3"
+        assert CATALOGUE.get("L2", TABLE_LOCAL).server == "homekit"
+
+    def test_unknown_label(self):
+        with pytest.raises(LookupError):
+            CATALOGUE.get("ZZ9")
+
+    def test_duplicate_key_rejected(self):
+        profile = CATALOGUE.get("H1")
+        with pytest.raises(ValueError):
+            Catalogue([profile, profile])
+
+    def test_servers_cover_both_worlds(self):
+        servers = CATALOGUE.servers()
+        assert "homekit" in servers and "smartthings" in servers and "ring" in servers
+
+
+class TestPaperAnchors:
+    """Each prose-stated datapoint of the paper must hold in the catalogue."""
+
+    def test_smartthings_31s_16s_infinite(self):
+        h1 = CATALOGUE.get("H1")
+        assert h1.ka_period == 31.0 and h1.ka_grace == 16.0
+        assert h1.event_ack_timeout is None and h1.command_response_timeout is None
+        assert (h1.keepalive_size, h1.ack_size) == (40, 42)
+
+    def test_hue_fixed_120s_command_21s_window_60_180(self):
+        h2 = CATALOGUE.get("H2")
+        assert h2.ka_period == 120.0 and h2.ka_strategy == "fixed"
+        assert h2.command_response_timeout == 21.0
+        assert CATALOGUE.get("L2").event_delay_window() == (60.0, 180.0)
+        assert CATALOGUE.get("L2").command_delay_window() == (21.0, 21.0)
+
+    def test_ring_48b_keepalive_986b_contact_60s(self):
+        hs1 = CATALOGUE.get("HS1")
+        assert hs1.keepalive_size == 48
+        assert CATALOGUE.get("C1").event_size == 986
+        assert CATALOGUE.get("C1").event_delay_window()[1] == 60.0
+
+    def test_simplisafe_keypad_only_sub_30s_device(self):
+        under_30 = [
+            p.label
+            for p in CATALOGUE.cloud_profiles()
+            if p.event_delay_window()[1] < 30.0
+        ]
+        assert under_30 == ["HS3"]
+
+    def test_on_demand_sensors_over_two_minutes(self):
+        for label in ("M7", "C5"):
+            profile = CATALOGUE.get(label)
+            assert profile.on_demand
+            assert profile.event_delay_window()[0] > 120.0
+
+    def test_homekit_events_unbounded(self):
+        for profile in CATALOGUE.local_profiles():
+            assert profile.event_delay_window() == (math.inf, math.inf)
+            assert not profile.event_acked
+
+    def test_lifx_sub_2s_keepalive(self):
+        assert CATALOGUE.get("L3").ka_period == 2.0
+
+    def test_all_cloud_events_delayable_beyond_30s_except_keypad(self):
+        for profile in CATALOGUE.cloud_profiles():
+            hi = profile.event_delay_window()[1]
+            if profile.label == "HS3":
+                assert hi < 30.0
+            else:
+                assert hi > 30.0
+
+
+class TestWindowFormulas:
+    def test_on_idle_window(self):
+        profile = CATALOGUE.get("H1")
+        lo, hi = profile.event_delay_window()
+        assert (lo, hi) == (profile.ka_grace, profile.ka_period + profile.ka_grace)
+
+    def test_event_ack_timeout_caps_window(self):
+        profile = CATALOGUE.get("HS3")
+        lo, hi = profile.event_delay_window()
+        assert hi == profile.event_ack_timeout
+
+    def test_command_window_none_without_commands(self):
+        assert CATALOGUE.get("C1").command_delay_window() is None
+
+    def test_command_response_timeout_caps(self):
+        window = CATALOGUE.get("P2").command_delay_window()
+        assert window == (10.0, 10.0)
+
+    @given(
+        period=st.floats(min_value=1.0, max_value=600.0),
+        grace=st.floats(min_value=1.0, max_value=120.0),
+    )
+    def test_window_bounds_ordering(self, period, grace):
+        profile = DeviceProfile(
+            label="X1", model="X", kind="contact", device_class="sensor",
+            table=TABLE_CLOUD, server="x", connection="wifi",
+            ka_period=period, ka_grace=grace,
+        )
+        lo, hi = profile.event_delay_window()
+        assert lo <= hi
+        assert lo == grace and hi == period + grace
+
+    def test_validation_rejects_bad_connection(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(
+                label="X", model="X", kind="contact", device_class="sensor",
+                table=TABLE_CLOUD, server="x", connection="zigbee",
+            )
+
+    def test_validation_rejects_cloud_longlive_without_ka(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(
+                label="X", model="X", kind="contact", device_class="sensor",
+                table=TABLE_CLOUD, server="x", connection="wifi",
+                long_live=True, ka_period=None,
+            )
+
+
+class TestBehaviors:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            behavior_for("toaster")
+
+    def test_event_name_format(self):
+        assert KIND_BEHAVIORS["contact"].event_name("open") == "contact.open"
+
+    def test_actuator_commands_map_to_values(self):
+        lock = KIND_BEHAVIORS["lock"]
+        assert lock.commands["lock"] == "locked"
+        assert lock.commands["unlock"] == "unlocked"
+
+    def test_speaker_announce_changes_nothing(self):
+        assert KIND_BEHAVIORS["speaker"].commands["announce"] is None
+
+
+class TestRuntimeDevices:
+    def test_stimulate_updates_state_and_history(self):
+        tb = SmartHomeTestbed(seed=2)
+        contact = tb.add_device("C5")  # standalone WiFi contact
+        tb.settle(2.0)
+        contact.stimulate("open")
+        assert contact.attribute_value == "open"
+        assert contact.state_history[-1][1:] == ("contact", "open")
+
+    def test_invalid_stimulus_rejected(self):
+        tb = SmartHomeTestbed(seed=2)
+        contact = tb.add_device("C5")
+        with pytest.raises(ValueError):
+            contact.stimulate("ajar")
+
+    def test_actuator_reports_state_after_command(self):
+        tb = SmartHomeTestbed(seed=2)
+        plug = tb.add_device("P2")
+        tb.settle(5.0)
+        endpoint = tb.endpoints["kasa"]
+        endpoint.send_command("p2", "on")
+        tb.run(3.0)
+        assert plug.attribute_value == "on"
+        # The state change came back as an event.
+        assert any(m.name == "switch.on" for _, m in endpoint.events_from("p2"))
+
+    def test_unknown_command_ignored_but_acked(self):
+        tb = SmartHomeTestbed(seed=2)
+        plug = tb.add_device("P2")
+        tb.settle(5.0)
+        results = []
+        tb.endpoints["kasa"].send_command("p2", "self-destruct", on_result=results.append)
+        tb.run(3.0)
+        assert plug.actions_executed == []
+        assert results and results[0].acked_at is not None
+
+    def test_hub_child_event_rides_hub_session(self):
+        tb = SmartHomeTestbed(seed=2)
+        contact = tb.add_device("C2")
+        tb.settle(5.0)
+        contact.stimulate("open")
+        tb.run(2.0)
+        _ts, _source, msg = tb.endpoints["smartthings"].events[-1]
+        assert msg.device_id == "h1"  # carried by the hub
+        assert msg.data["child"] == "c2"
+
+    def test_hub_routes_commands_to_child(self):
+        tb = SmartHomeTestbed(seed=2)
+        outlet = tb.add_device("P1")
+        tb.settle(5.0)
+        tb.endpoints["smartthings"].send_command("p1", "on")
+        tb.run(3.0)
+        assert outlet.attribute_value == "on"
+
+    def test_duplicate_child_id_rejected(self):
+        tb = SmartHomeTestbed(seed=2)
+        tb.add_device("C2")
+        hub = tb.devices["h1"]
+        from repro.devices.base import HubChildDevice
+
+        with pytest.raises(ValueError):
+            HubChildDevice(tb.sim, CATALOGUE.get("C2"), hub=hub, device_id="c2")
+
+    def test_state_change_hooks(self):
+        tb = SmartHomeTestbed(seed=2)
+        contact = tb.add_device("C5")
+        changes = []
+        contact.on_state_change.append(lambda d, a, v: changes.append((a, v)))
+        contact.stimulate("open")
+        assert changes == [("contact", "open")]

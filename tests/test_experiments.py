@@ -1,0 +1,89 @@
+"""Experiment-driver structure tests: rows, renderers, and criteria.
+
+The heavyweight full campaigns run in the benchmarks; these tests exercise
+the drivers on small subsets so regressions in row structure, matching
+criteria, or renderers surface in the unit suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.table1 import profile_label, render_table1, run_table1
+from repro.experiments.table2 import profile_local_label, render_table2
+from repro.experiments.table3 import CaseRow, render_table3, run_table3
+from repro.experiments.verification import render_verification, verify_device
+from repro.core.attacks.scenarios import Case1FrontDoorVoiceAlert, Case8StormDoorUnlock
+
+
+class TestTable1Driver:
+    def test_row_structure(self):
+        row = profile_label("HS1", trials=1)
+        assert row.profile.label == "HS1"
+        assert row.expected_event_window == (30.0, 60.0)
+        assert row.measured_event_window[1] == pytest.approx(60.0, abs=3.0)
+        assert row.matches_expectation()
+
+    def test_run_table1_subset(self):
+        rows = run_table1(labels=["HS3", "M7"], trials=1)
+        assert [r.profile.label for r in rows] == ["HS3", "M7"]
+
+    def test_render_contains_anchors(self):
+        rows = run_table1(labels=["HS3"], trials=1)
+        text = render_table1(rows)
+        assert "SimpliSafe Keypad" in text and "Matches" in text
+
+    def test_matches_expectation_rejects_divergence(self):
+        row = profile_label("HS1", trials=1)
+        # Tamper with the report to simulate a wrong measurement.
+        row.report.ka_timeout = 5.0
+        assert not row.matches_expectation()
+
+
+class TestTable2Driver:
+    def test_local_row_unbounded(self):
+        row = profile_local_label("S2", trials=1)
+        assert row.event_unbounded
+        assert row.report.event_size == 275
+        assert row.matches_expectation
+
+    def test_render(self):
+        row = profile_local_label("S2", trials=1)
+        assert "HomePod" in render_table2([row])
+
+
+class TestTable3Driver:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table3(
+            seed=5, scenarios=[Case1FrontDoorVoiceAlert(), Case8StormDoorUnlock()]
+        )
+
+    def test_rows_reproduce(self, rows):
+        assert all(r.consequence_reproduced for r in rows)
+        assert all(r.stealthy for r in rows)
+
+    def test_render(self, rows):
+        text = render_table3(rows)
+        assert "Case 1" in text and "Case 8" in text and "Stealthy" in text
+
+    def test_consequence_criterion_strict(self, rows):
+        row = rows[0]
+        broken = CaseRow(
+            scenario=row.scenario, baseline=row.baseline, attacked=row.baseline
+        )
+        assert not broken.consequence_reproduced  # no delta -> not reproduced
+
+
+class TestVerificationDriver:
+    def test_single_device(self):
+        row = verify_device("C2", trials=2, seed=141)
+        assert row.success_rate == 1.0
+        assert all(t.achieved_delay > 10.0 for t in row.trials)
+
+    def test_render(self):
+        row = verify_device("C2", trials=1, seed=143)
+        text = render_verification([row])
+        assert "100%" in text

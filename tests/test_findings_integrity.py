@@ -1,0 +1,95 @@
+"""Findings 1-3 and the TLS-integrity contrast experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.findings import (
+    finding1_half_open,
+    finding2_event_discard,
+    finding3_unidirectional_liveness,
+    render_findings,
+)
+from repro.experiments.tls_integrity import (
+    MODES,
+    run_integrity_experiment,
+    render_integrity,
+)
+
+
+class TestFinding1:
+    def test_half_open_reproduced(self):
+        result = finding1_half_open(seed=101)
+        assert result.reproduced
+        assert result.device_timed_out
+        assert result.half_open_during == 2
+        assert result.half_open_after <= 1
+        assert result.offline_alarms == 0
+
+
+class TestFinding2:
+    def test_discard_cliff_at_window(self):
+        rows = finding2_event_discard(delays=(10.0, 25.0, 35.0, 50.0), seed=103)
+        outcomes = {row.delay: row.delivered_to_engine for row in rows}
+        assert outcomes[10.0] and outcomes[25.0]
+        assert not outcomes[35.0] and not outcomes[50.0]
+
+    def test_discard_is_silent(self):
+        rows = finding2_event_discard(delays=(35.0,), seed=105)
+        assert rows[0].discarded
+        assert rows[0].alarms == 0
+
+
+class TestFinding3:
+    def test_unidirectional_liveness(self):
+        result = finding3_unidirectional_liveness(seed=107)
+        assert result.reproduced
+        assert result.downlink_data_packets == 0
+        assert result.server_still_believes_online
+
+
+class TestRenderFindings:
+    def test_render_mentions_all_three(self):
+        f1 = finding1_half_open(seed=109)
+        f2 = finding2_event_discard(delays=(35.0,), seed=109)
+        f3 = finding3_unidirectional_liveness(seed=109)
+        text = render_findings(f1, f2, f3)
+        assert "Finding 1" in text and "Finding 2" in text and "Finding 3" in text
+
+
+class TestTlsIntegrityContrast:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.mode: row for row in run_integrity_experiment(seed=111)}
+
+    def test_all_modes_run(self, rows):
+        assert set(rows) == set(MODES)
+
+    def test_pass_through_silent_and_delivered(self, rows):
+        row = rows["pass-through"]
+        assert row.silent and row.event_delivered
+
+    def test_phantom_delay_silent_and_delivered(self, rows):
+        row = rows["hold-release"]
+        assert row.silent and row.event_delivered
+
+    def test_corruption_raises_tls_alert(self, rows):
+        row = rows["corrupt"]
+        assert row.tls_alerts >= 1 and not row.silent
+        assert not row.event_delivered
+
+    def test_stream_injection_raises_tls_alert(self, rows):
+        row = rows["inject"]
+        assert row.tls_alerts >= 1 and not row.silent
+
+    def test_drop_with_forged_ack_ends_in_timeout_alarms(self, rows):
+        row = rows["drop"]
+        assert not row.silent
+        assert not row.event_delivered
+
+    def test_every_row_matches_paper(self, rows):
+        assert all(row.matches_paper for row in rows.values())
+
+    def test_render(self, rows):
+        text = render_integrity(list(rows.values()))
+        assert "hold-release" in text and "corrupt" in text

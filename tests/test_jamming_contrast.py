@@ -1,0 +1,48 @@
+"""Unit coverage for the jamming-contrast experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.jamming_contrast import (
+    MODES,
+    render_jamming_contrast,
+    run_jamming_contrast,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {row.mode: row for row in run_jamming_contrast(seed=271)}
+
+
+class TestJammingContrast:
+    def test_all_modes_present(self, rows):
+        assert set(rows) == set(MODES)
+
+    def test_phantom_delay_is_the_only_silent_mode(self, rows):
+        assert rows["phantom-delay"].silent
+        assert not rows["drop-segments"].silent
+        assert not rows["drop-all"].silent
+
+    def test_phantom_delay_delivers_late(self, rows):
+        row = rows["phantom-delay"]
+        assert row.event_delivered
+        assert row.delivery_delay > 20.0
+        assert row.retransmissions == 0 and row.reconnects == 0 and row.alarms == 0
+
+    def test_selective_drop_leaves_artifacts(self, rows):
+        """Whether the event survives depends on where the RTO backoff falls
+        relative to the drop window (seed-dependent); the robust invariant
+        is the visible retransmission storm."""
+        row = rows["drop-segments"]
+        assert row.retransmissions >= 1
+        if row.event_delivered:
+            assert row.delivery_delay > 25.0  # recovered only after the window
+
+    def test_channel_drop_leaves_retransmission_storm(self, rows):
+        assert rows["drop-all"].retransmissions >= 3
+
+    def test_render(self, rows):
+        text = render_jamming_contrast(list(rows.values()))
+        assert "phantom-delay" in text and "Silent" in text

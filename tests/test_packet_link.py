@@ -1,0 +1,168 @@
+"""Unit tests for wire formats and the broadcast LAN."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.link import Lan
+from repro.simnet.packet import (
+    ARP_BODY_BYTES,
+    ArpPacket,
+    BROADCAST_MAC,
+    ETHERNET_HEADER_BYTES,
+    EthernetFrame,
+    IPV4_HEADER_BYTES,
+    IpPacket,
+    MacPool,
+)
+from repro.simnet.scheduler import Simulator
+
+
+class TestMacPool:
+    def test_allocates_unique(self):
+        pool = MacPool()
+        macs = {pool.allocate() for _ in range(100)}
+        assert len(macs) == 100
+
+    def test_format(self):
+        mac = MacPool().allocate()
+        parts = mac.split(":")
+        assert len(parts) == 6
+        assert all(len(p) == 2 for p in parts)
+
+
+class TestPacketSizes:
+    def test_arp_size(self):
+        arp = ArpPacket("request", "m1", "1.1.1.1", BROADCAST_MAC, "1.1.1.2")
+        assert arp.byte_size() == ARP_BODY_BYTES
+
+    def test_bad_arp_op(self):
+        with pytest.raises(ValueError):
+            ArpPacket("query", "m", "i", "m", "i")
+
+    def test_ip_packet_size_with_bytes(self):
+        packet = IpPacket("1.1.1.1", "2.2.2.2", b"x" * 40)
+        assert packet.byte_size() == IPV4_HEADER_BYTES + 40
+
+    def test_ip_packet_size_empty(self):
+        assert IpPacket("a", "b", None).byte_size() == IPV4_HEADER_BYTES
+
+    def test_frame_size_nests(self):
+        frame = EthernetFrame("m1", "m2", IpPacket("a", "b", b"x" * 10))
+        assert frame.byte_size() == ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES + 10
+
+    def test_frame_ids_unique(self):
+        f1 = EthernetFrame("a", "b", None)
+        f2 = EthernetFrame("a", "b", None)
+        assert f1.frame_id != f2.frame_id
+
+    def test_broadcast_flag(self):
+        assert EthernetFrame("a", BROADCAST_MAC, None).is_broadcast
+        assert not EthernetFrame("a", "b", None).is_broadcast
+
+    def test_unsupported_payload_rejected(self):
+        frame = EthernetFrame("a", "b", object())
+        with pytest.raises(TypeError):
+            frame.byte_size()
+
+    @given(st.binary(max_size=2000))
+    def test_ip_size_matches_payload(self, payload):
+        assert IpPacket("a", "b", payload).byte_size() == IPV4_HEADER_BYTES + len(payload)
+
+
+class TestLanDelivery:
+    def _lan(self):
+        sim = Simulator(seed=3)
+        return sim, Lan(sim)
+
+    def test_unicast_reaches_only_addressee(self):
+        sim, lan = self._lan()
+        got_a, got_b = [], []
+        nic_a = lan.attach(got_a.append)
+        nic_b = lan.attach(got_b.append)
+        sender = lan.attach(lambda f: None)
+        sender.send(EthernetFrame(sender.mac, nic_a.mac, None))
+        sim.run(1.0)
+        assert len(got_a) == 1 and got_b == []
+
+    def test_broadcast_reaches_all_but_sender(self):
+        sim, lan = self._lan()
+        received = {i: [] for i in range(3)}
+        nics = [lan.attach(received[i].append) for i in range(3)]
+        nics[0].send(EthernetFrame(nics[0].mac, BROADCAST_MAC, None))
+        sim.run(1.0)
+        assert received[0] == [] and len(received[1]) == 1 and len(received[2]) == 1
+
+    def test_promiscuous_overhears_unicast(self):
+        sim, lan = self._lan()
+        sniffed = []
+        nic_a = lan.attach(lambda f: None)
+        nic_b = lan.attach(lambda f: None)
+        lan.attach(sniffed.append, promiscuous=True)
+        nic_a.send(EthernetFrame(nic_a.mac, nic_b.mac, None))
+        sim.run(1.0)
+        assert len(sniffed) == 1
+
+    def test_promiscuous_addressee_gets_frame_once(self):
+        sim, lan = self._lan()
+        got = []
+        nic_a = lan.attach(lambda f: None)
+        nic_b = lan.attach(got.append, promiscuous=True)
+        nic_a.send(EthernetFrame(nic_a.mac, nic_b.mac, None))
+        sim.run(1.0)
+        assert len(got) == 1
+
+    def test_latency_applied(self):
+        sim = Simulator(seed=3)
+        lan = Lan(sim, latency=0.25)
+        arrival = []
+        nic_a = lan.attach(lambda f: None)
+        nic_b = lan.attach(lambda f: arrival.append(sim.now))
+        nic_a.send(EthernetFrame(nic_a.mac, nic_b.mac, None))
+        sim.run(1.0)
+        assert arrival == [0.25]
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator(seed=3)
+        with pytest.raises(ValueError):
+            Lan(sim, latency=-1.0)
+
+    def test_detached_nic_gets_nothing(self):
+        sim, lan = self._lan()
+        got = []
+        nic_a = lan.attach(lambda f: None)
+        nic_b = lan.attach(got.append)
+        lan.detach(nic_b)
+        nic_a.send(EthernetFrame(nic_a.mac, nic_b.mac, None))
+        sim.run(1.0)
+        assert got == []
+
+    def test_detached_nic_cannot_send(self):
+        sim, lan = self._lan()
+        nic = lan.attach(lambda f: None)
+        lan.detach(nic)
+        with pytest.raises(RuntimeError):
+            nic.send(EthernetFrame(nic.mac, "x", None))
+
+    def test_unknown_destination_dropped(self):
+        sim, lan = self._lan()
+        nic = lan.attach(lambda f: None)
+        nic.send(EthernetFrame(nic.mac, "00:00:00:00:00:99", None))
+        sim.run(1.0)  # no exception, frame vanishes
+
+    def test_traffic_counters(self):
+        sim, lan = self._lan()
+        nic_a = lan.attach(lambda f: None)
+        nic_b = lan.attach(lambda f: None)
+        frame = EthernetFrame(nic_a.mac, nic_b.mac, b"x" * 100)
+        nic_a.send(frame)
+        sim.run(1.0)
+        assert lan.frames_transmitted == 1
+        assert lan.bytes_transmitted == frame.byte_size()
+
+    def test_nic_by_mac(self):
+        sim, lan = self._lan()
+        nic = lan.attach(lambda f: None)
+        assert lan.nic_by_mac(nic.mac) is nic
+        assert lan.nic_by_mac("nope") is None

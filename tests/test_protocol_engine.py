@@ -1,0 +1,255 @@
+"""Device/server protocol engine tests: the three timeout parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appproto.base import ProtocolConfig
+from repro.appproto.keepalive import FIXED, KeepAlivePolicy, ON_IDLE
+from conftest import ProtocolPair, make_pair
+
+
+class TestConnectionLifecycle:
+    def test_connect_connack(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        assert mqtt_pair.client.connected
+        assert mqtt_pair.server.device_id == "dev-1"
+
+    def test_server_learns_advertised_keepalive(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        assert mqtt_pair.server.advertised_keepalive == 30.0
+
+    def test_stop_closes_session(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        mqtt_pair.client.stop()
+        mqtt_pair.sim.run(5.0)
+        assert not mqtt_pair.client.connected
+        assert all(s.closed for s in mqtt_pair.server_sessions)
+
+    def test_event_reaches_server(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        mqtt_pair.client.send_event("contact.open", {"value": "open"})
+        mqtt_pair.sim.run(2.0)
+        assert [m.name for _, m in mqtt_pair.events] == ["contact.open"]
+
+    def test_event_carries_device_time(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        before = mqtt_pair.sim.now
+        mqtt_pair.client.send_event("e")
+        mqtt_pair.sim.run(2.0)
+        _, msg = mqtt_pair.events[0]
+        assert before <= msg.device_time <= before + 0.01
+
+    def test_event_ack_received(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        mqtt_pair.client.send_event("e")
+        mqtt_pair.sim.run(2.0)
+        assert mqtt_pair.client.stats["event_acks"] == 1
+        assert mqtt_pair.client.events[0].acked_at is not None
+
+    def test_events_queued_until_connected(self, net):
+        pair = make_pair(net, codec_name="mqtt")
+        pair.client.start()
+        pair.client.send_event("early")  # session still handshaking
+        pair.sim.run(5.0)
+        assert [m.name for _, m in pair.events] == ["early"]
+
+    def test_command_roundtrip(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        results = []
+        mqtt_pair.server.send_command("lock", on_result=lambda p: results.append(p))
+        mqtt_pair.sim.run(2.0)
+        assert [m.name for _, m in mqtt_pair.commands_received] == ["lock"]
+        assert results and results[0].acked_at is not None and not results[0].timed_out
+
+
+class TestKeepAliveBehaviour:
+    def test_keepalives_flow_when_idle(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        mqtt_pair.sim.run(100.0)
+        assert mqtt_pair.client.stats["keepalives_sent"] >= 3
+        assert mqtt_pair.client.stats["keepalive_acks"] == mqtt_pair.client.stats["keepalives_sent"]
+
+    def test_on_idle_postponed_by_events(self, net):
+        pair = make_pair(
+            net,
+            keepalive=KeepAlivePolicy(period=20.0, strategy=ON_IDLE),
+            ka_response_timeout=10.0,
+            server_liveness_grace=10.0,
+        )
+        pair.start_and_settle()
+        # Send an event every 15 s: the keep-alive timer keeps resetting.
+        for _ in range(6):
+            pair.sim.run(15.0)
+            pair.client.send_event("tick")
+        assert pair.client.stats["keepalives_sent"] == 0
+
+    def test_fixed_not_postponed_by_events(self, net):
+        pair = make_pair(
+            net,
+            keepalive=KeepAlivePolicy(period=20.0, strategy=FIXED),
+            ka_response_timeout=10.0,
+            server_liveness_grace=10.0,
+        )
+        pair.start_and_settle()
+        for _ in range(6):
+            pair.sim.run(15.0)
+            pair.client.send_event("tick")
+        assert pair.client.stats["keepalives_sent"] >= 3
+
+    def test_no_keepalive_for_none_policy(self, net):
+        pair = make_pair(net, keepalive=None, ka_response_timeout=None, server_liveness_grace=None)
+        pair.start_and_settle()
+        pair.sim.run(300.0)
+        assert pair.client.stats["keepalives_sent"] == 0
+        assert pair.client.connected
+
+    def test_session_survives_long_idle(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        mqtt_pair.sim.run(1000.0)
+        assert mqtt_pair.client.connected
+        assert mqtt_pair.alarms.silent
+
+
+class TestTimeouts:
+    def test_event_ack_timeout_raises_alarm_and_reconnects(self, net):
+        # The client expects acks within 5 s; the server is configured to
+        # never send them, guaranteeing the timeout.
+        pair = ProtocolPair(
+            net,
+            ProtocolConfig(
+                keepalive=KeepAlivePolicy(period=60.0),
+                ka_response_timeout=30.0,
+                server_liveness_grace=None,
+                event_ack_timeout=5.0,
+                event_acked=True,
+            ),
+            server_config=ProtocolConfig(
+                keepalive=KeepAlivePolicy(period=60.0),
+                server_liveness_grace=None,
+                event_acked=False,  # silent server
+            ),
+        )
+        pair.start_and_settle()
+        sessions_before = pair.client.stats["sessions_opened"]
+        pair.client.send_event("unacked")
+        pair.sim.run(20.0)
+        assert pair.alarms.count("event-ack-timeout") == 1
+        assert pair.client.stats["sessions_opened"] == sessions_before + 1
+
+    def test_no_event_timeout_when_none(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        mqtt_pair.client.send_event("e")
+        mqtt_pair.sim.run(60.0)
+        assert mqtt_pair.alarms.count("event-ack-timeout") == 0
+
+    def test_command_timeout_alarm(self, net):
+        pair = make_pair(
+            net,
+            keepalive=KeepAlivePolicy(period=30.0),
+            ka_response_timeout=None,
+            server_liveness_grace=None,
+            command_response_timeout=5.0,
+        )
+        pair.start_and_settle()
+        # Commands time out when the device never acks: silence the device
+        # by stopping it right after connect (its TCP stays half-open).
+        pair.client._on_command_message = lambda m: None  # swallow commands
+        pair.client.on_command = None
+        results = []
+        server = pair.server
+        # Replace the device's wire handler so no ack is produced.
+        pair.client._on_wire_message = lambda data, gen: None
+        server.send_command("noop", on_result=lambda p: results.append(p))
+        pair.sim.run(10.0)
+        assert results and results[0].timed_out
+        assert pair.alarms.count("command-timeout") == 1
+
+    def test_server_liveness_expires_without_keepalives(self, net):
+        pair = make_pair(
+            net,
+            keepalive=KeepAlivePolicy(period=10.0),
+            ka_response_timeout=None,
+            server_liveness_grace=5.0,
+        )
+        pair.start_and_settle()
+        # Gag the device: it stops sending keep-alives entirely.
+        pair.client._send_keepalive = lambda: None
+        pair.sim.run(30.0)
+        assert pair.alarms.count("device-offline") == 1
+
+    def test_connect_timeout_when_server_silent(self, net):
+        # Point the client at a black-hole: accepted TCP but no TLS server.
+        pair = make_pair(net, connect_timeout=5.0)
+        pair.cloud_stack.stop_listening(8883)
+        pair.cloud_stack.listen(8883, lambda conn: None)  # bare TCP accept
+        pair.client.start()
+        pair.sim.run(20.0)
+        assert pair.alarms.count("connect-timeout") >= 1
+
+
+class TestServerBehaviour:
+    def test_staleness_discard(self, net):
+        pair = make_pair(
+            net,
+            keepalive=KeepAlivePolicy(period=60.0),
+            ka_response_timeout=None,
+            server_liveness_grace=None,
+            staleness_discard=10.0,
+        )
+        pair.start_and_settle()
+        from repro.appproto.messages import EVENT, IoTMessage
+
+        # Forge an event whose device_time is 20 s in the past.
+        stale = IoTMessage(
+            kind=EVENT, name="old.news", device_time=pair.sim.now - 20.0, device_id="dev-1"
+        )
+        codec = pair.client._codec
+        pair.client.session.send_message(codec.encode(stale, pad_to=200))
+        pair.sim.run(2.0)
+        assert pair.events == []
+        assert len(pair.server.events_discarded_stale) == 1
+        assert pair.alarms.silent  # Finding 2: silent drop
+
+    def test_fresh_event_not_discarded(self, net):
+        pair = make_pair(
+            net,
+            keepalive=KeepAlivePolicy(period=60.0),
+            ka_response_timeout=None,
+            server_liveness_grace=None,
+            staleness_discard=10.0,
+        )
+        pair.start_and_settle()
+        pair.client.send_event("fresh")
+        pair.sim.run(2.0)
+        assert [m.name for _, m in pair.events] == ["fresh"]
+
+    def test_adopt_config_switches_codec(self, mqtt_pair):
+        mqtt_pair.start_and_settle()
+        http_cfg = ProtocolConfig(codec_name="http")
+        mqtt_pair.server.adopt_config(http_cfg)
+        assert mqtt_pair.server._codec.name == "http"
+
+    def test_on_demand_session_lifecycle(self, net):
+        pair = make_pair(
+            net,
+            codec_name="http",
+            long_live=False,
+            keepalive=None,
+            ka_response_timeout=None,
+            server_liveness_grace=None,
+            event_ack_timeout=60.0,
+        )
+        # On-demand: nothing until an event happens.
+        pair.sim.run(30.0)
+        assert pair.client.session is None
+        pair.client.send_event("burst")
+        pair.sim.run(5.0)
+        assert [m.name for _, m in pair.events] == ["burst"]
+        # Session hung up after the ack.
+        assert pair.client.session is None or pair.client.session.closed
+        # A second event opens a fresh session.
+        pair.client.send_event("burst-2")
+        pair.sim.run(5.0)
+        assert len(pair.events) == 2
+        assert pair.client.stats["sessions_opened"] == 2

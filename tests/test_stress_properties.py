@@ -1,0 +1,187 @@
+"""Stress and property tests across the transport substrates.
+
+These hammer the layers with randomised loss, chunking, and delays and
+assert the end-to-end guarantees that the rest of the reproduction takes
+for granted.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attacker import PhantomDelayAttacker
+from repro.core.hijacker import TcpHijacker
+from repro.simnet.link import Lan
+from repro.simnet.packet import EthernetFrame, IpPacket
+from repro.simnet.scheduler import Simulator
+from repro.tcp.segment import TcpSegment
+from repro.tcp.stack import TcpStack
+from repro.testbed import SmartHomeTestbed
+
+
+def _lossy_pair(drop_pattern: list[bool], seed: int = 5):
+    """Two TCP stacks on a pipe that drops data segments per the pattern."""
+    sim = Simulator(seed=seed)
+    lan = Lan(sim)
+    state = {"i": 0}
+
+    def loss(packet) -> bool:
+        segment = packet.payload
+        if not isinstance(segment, TcpSegment) or not segment.payload:
+            return False
+        idx = state["i"]
+        state["i"] += 1
+        return drop_pattern[idx % len(drop_pattern)]
+
+    class _Host:
+        def __init__(self, ip, name):
+            self.sim, self.ip, self.hostname = sim, ip, name
+            self.ip_handler = None
+            self.frame_taps = []
+            self.nic = lan.attach(self._on_frame)
+
+        def send_ip(self, packet):
+            if loss(packet):
+                return
+            other = b if self is a else a
+            self.nic.send(EthernetFrame(self.nic.mac, other.nic.mac, packet))
+
+        def _on_frame(self, frame):
+            payload = frame.payload
+            if self.ip_handler and isinstance(payload, IpPacket) and payload.dst_ip == self.ip:
+                self.ip_handler(payload)
+
+    a = _Host("10.0.0.1", "a")
+    b = _Host("10.0.0.2", "b")
+    return sim, TcpStack(a), TcpStack(b)
+
+
+class TestTcpUnderLoss:
+    @given(
+        pattern=st.lists(st.booleans(), min_size=3, max_size=12).filter(
+            lambda p: sum(p) < len(p) * 0.5  # < 50% loss: recoverable
+        ),
+        blob_size=st.integers(100, 5000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_data_delivered_despite_loss(self, pattern, blob_size):
+        sim, a, b = _lossy_pair(pattern)
+        received = []
+        b.listen(80, lambda c: setattr(c.callbacks, "on_data", lambda cc, d: received.append(d)))
+        conn = a.connect("10.0.0.2", 80)
+        sim.run(5.0)
+        if conn.state != "ESTABLISHED":
+            sim.run(60.0)
+        blob = bytes(i % 251 for i in range(blob_size))
+        conn.send(blob)
+        sim.run(200.0)
+        assert b"".join(received) == blob
+
+    def test_alternating_loss_heavy_retransmission(self):
+        sim, a, b = _lossy_pair([True, False])
+        received = []
+        b.listen(80, lambda c: setattr(c.callbacks, "on_data", lambda cc, d: received.append(d)))
+        conn = a.connect("10.0.0.2", 80)
+        sim.run(30.0)
+        conn.send(b"x" * 4000)
+        sim.run(300.0)
+        assert len(b"".join(received)) == 4000
+        assert conn.stats["retransmissions"] >= 1
+
+
+class TestHoldReleaseProperty:
+    @given(
+        durations=st.lists(st.floats(min_value=1.0, max_value=14.0), min_size=1, max_size=4)
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_repeated_bounded_holds_never_alarm(self, durations):
+        """Any sequence of holds inside the safe window stays silent and
+        delivers every event in order."""
+        tb = SmartHomeTestbed(seed=int(sum(durations) * 1000) % 10000)
+        contact = tb.add_device("C2")
+        hub = tb.devices["h1"]
+        tb.settle(8.0)
+        attacker = PhantomDelayAttacker.deploy(tb)
+        attacker.interpose(hub.ip)
+        tb.run(35.0)
+        expected = []
+        for i, duration in enumerate(durations):
+            value = "open" if i % 2 == 0 else "closed"
+            expected.append(f"contact.{value}")
+            hold = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+            contact.stimulate(value)
+            tb.run(duration)
+            attacker.hijacker.release(hold)
+            tb.run(3.0)
+        names = [m.name for _, m in tb.endpoints["smartthings"].events_from("c2")]
+        assert names == expected
+        assert tb.alarms.silent
+
+
+class TestHijackerEdgeCases:
+    def test_suppress_close_leaves_half_open(self):
+        tb = SmartHomeTestbed(seed=161)
+        keypad = tb.add_device("HS3")
+        endpoint = tb.endpoints["simplisafe"]
+        tb.settle(8.0)
+        attacker = PhantomDelayAttacker.deploy(tb)
+        attacker.interpose(keypad.host.ip)
+        tb.run(30.0)
+        hold = attacker.hijacker.hold_events(keypad.host.ip, trigger_size=380)
+        hold.suppress_close = True
+        keypad.stimulate("code-entered")
+        tb.run(25.0)  # past the 20 s event-ack timeout: keypad closes
+        assert hold.end_reason == "close-suppressed"
+        # The server side never saw the FIN: its session is still live.
+        tb.run(1.0)
+        assert endpoint.half_open_count("hs3") >= 2
+
+    def test_non_tcp_traffic_forwarded(self):
+        tb = SmartHomeTestbed(seed=163)
+        contact = tb.add_device("C5")
+        tb.settle(8.0)
+        attacker = PhantomDelayAttacker.deploy(tb)
+        attacker.interpose(contact.host.ip)
+        tb.run(1.0)
+        # Raw (non-TCP) IP packet through the hijacked path.
+        contact.host.send_ip(IpPacket(contact.host.ip, "34.0.1.1", b"raw-datagram"))
+        tb.run(1.0)
+        assert attacker.hijacker.stats["forwarded"] >= 1
+
+    def test_two_holds_same_flow_first_wins(self):
+        tb = SmartHomeTestbed(seed=165)
+        contact = tb.add_device("C2")
+        hub = tb.devices["h1"]
+        tb.settle(8.0)
+        attacker = PhantomDelayAttacker.deploy(tb)
+        attacker.interpose(hub.ip)
+        tb.run(35.0)
+        first = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+        second = attacker.hijacker.hold_events(hub.ip, trigger_size=355)
+        contact.stimulate("open")
+        tb.run(2.0)
+        assert first.holding and second.triggered_at is None
+        attacker.hijacker.release(first)
+        attacker.hijacker.cancel(second)
+        tb.run(2.0)
+        assert len(tb.endpoints["smartthings"].events_from("c2")) == 1
+
+
+class TestSimulationScale:
+    def test_fifteen_device_home_day_long_idle(self):
+        """A bigger home idles for a simulated hour without a single alarm
+        or spurious reconnect — the substrate is stable at scale."""
+        tb = SmartHomeTestbed(seed=167)
+        labels = ["C2", "M2", "P1", "L2", "S2", "C1", "M1", "HS3", "P2",
+                  "P3", "T1", "V1", "SM1", "CM1", "SPK1"]
+        for label in labels:
+            tb.add_device(label)
+        tb.settle(10.0)
+        tb.run(3600.0)
+        assert tb.alarms.silent
+        for device_id, device in tb.devices.items():
+            client = getattr(device, "client", None)
+            if client is not None and client.config.long_live:
+                assert client.connected, device_id
+                assert client.stats["reconnects"] == 0, device_id

@@ -1,0 +1,253 @@
+"""TLS record layer and session tests: integrity without timeliness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tls.errors import HandshakeError, MacVerificationError, RecordFormatError
+from repro.tls.record import (
+    CONTENT_ALERT,
+    CONTENT_APPLICATION,
+    HEADER_BYTES,
+    MAC_BYTES,
+    RecordReader,
+    RecordWriter,
+    derive_keys,
+)
+from repro.tls.session import KeyEscrow, RECORD_OVERHEAD, TlsSession
+from repro.tcp.stack import TcpStack
+from repro.tcp.connection import TcpCallbacks
+
+
+def _channel(master=b"m" * 32):
+    writer = RecordWriter(*derive_keys(master, "client"))
+    reader = RecordReader(*derive_keys(master, "server"))
+    # reader must read what the *client* writes
+    reader = RecordReader(*derive_keys(master, "client"))
+    return writer, reader
+
+
+class TestRecordLayer:
+    def test_roundtrip(self):
+        writer, reader = _channel()
+        wire = writer.seal(CONTENT_APPLICATION, b"hello")
+        records = reader.feed(wire)
+        assert records == [(CONTENT_APPLICATION, b"hello")]
+
+    def test_wire_size_is_plaintext_plus_overhead(self):
+        writer, _ = _channel()
+        wire = writer.seal(CONTENT_APPLICATION, b"x" * 100)
+        assert len(wire) == 100 + HEADER_BYTES + MAC_BYTES
+
+    def test_multiple_records_in_order(self):
+        writer, reader = _channel()
+        wire = b"".join(writer.seal(CONTENT_APPLICATION, bytes([i])) for i in range(5))
+        records = reader.feed(wire)
+        assert [p for _, p in records] == [bytes([i]) for i in range(5)]
+
+    def test_partial_feed_buffers(self):
+        writer, reader = _channel()
+        wire = writer.seal(CONTENT_APPLICATION, b"split")
+        assert reader.feed(wire[:3]) == []
+        assert reader.feed(wire[3:]) == [(CONTENT_APPLICATION, b"split")]
+
+    def test_ciphertext_differs_from_plaintext(self):
+        writer, _ = _channel()
+        wire = writer.seal(CONTENT_APPLICATION, b"secret-payload")
+        assert b"secret-payload" not in wire
+
+    def test_same_plaintext_different_ciphertext_per_seq(self):
+        writer, _ = _channel()
+        w1 = writer.seal(CONTENT_APPLICATION, b"same")
+        w2 = writer.seal(CONTENT_APPLICATION, b"same")
+        assert w1[HEADER_BYTES:] != w2[HEADER_BYTES:]
+
+    def test_corrupted_byte_fails_mac(self):
+        writer, reader = _channel()
+        wire = bytearray(writer.seal(CONTENT_APPLICATION, b"data"))
+        wire[HEADER_BYTES] ^= 0x01
+        with pytest.raises(MacVerificationError):
+            reader.feed(bytes(wire))
+
+    def test_corrupted_mac_fails(self):
+        writer, reader = _channel()
+        wire = bytearray(writer.seal(CONTENT_APPLICATION, b"data"))
+        wire[-1] ^= 0x01
+        with pytest.raises(MacVerificationError):
+            reader.feed(bytes(wire))
+
+    def test_replayed_record_fails(self):
+        writer, reader = _channel()
+        wire = writer.seal(CONTENT_APPLICATION, b"once")
+        reader.feed(wire)
+        with pytest.raises(MacVerificationError):
+            reader.feed(wire)  # same bytes, but reader seq advanced
+
+    def test_dropped_record_fails_on_next(self):
+        writer, reader = _channel()
+        _lost = writer.seal(CONTENT_APPLICATION, b"lost")
+        kept = writer.seal(CONTENT_APPLICATION, b"kept")
+        with pytest.raises(MacVerificationError):
+            reader.feed(kept)
+
+    def test_reordered_records_fail(self):
+        writer, reader = _channel()
+        first = writer.seal(CONTENT_APPLICATION, b"first")
+        second = writer.seal(CONTENT_APPLICATION, b"second")
+        with pytest.raises(MacVerificationError):
+            reader.feed(second + first)
+
+    def test_delayed_but_ordered_records_verify(self):
+        # The paper's whole point: arbitrary delay, same order -> silence.
+        writer, reader = _channel()
+        batch = [writer.seal(CONTENT_APPLICATION, bytes([i])) for i in range(10)]
+        out = []
+        for wire in batch:  # "released" long after sealing, in order
+            out.extend(reader.feed(wire))
+        assert [p for _, p in out] == [bytes([i]) for i in range(10)]
+
+    def test_wrong_key_fails(self):
+        writer, _ = _channel(master=b"a" * 32)
+        reader = RecordReader(*derive_keys(b"b" * 32, "client"))
+        with pytest.raises(MacVerificationError):
+            reader.feed(writer.seal(CONTENT_APPLICATION, b"x"))
+
+    def test_oversized_plaintext_rejected(self):
+        writer, _ = _channel()
+        with pytest.raises(ValueError):
+            writer.seal(CONTENT_APPLICATION, b"x" * (2**14 + 1))
+
+    def test_bad_version_rejected(self):
+        _, reader = _channel()
+        with pytest.raises(RecordFormatError):
+            reader.feed(b"\x17\x01\x01\x00\x20" + b"x" * 32)
+
+    def test_direction_keys_differ(self):
+        client_enc, client_mac = derive_keys(b"m" * 32, "client")
+        server_enc, server_mac = derive_keys(b"m" * 32, "server")
+        assert client_enc != server_enc and client_mac != server_mac
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(ValueError):
+            derive_keys(b"m" * 32, "middlebox")
+
+    @given(st.lists(st.binary(min_size=0, max_size=500), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_roundtrip_any_payloads(self, payloads):
+        writer, reader = _channel()
+        out = []
+        for payload in payloads:
+            out.extend(reader.feed(writer.seal(CONTENT_APPLICATION, payload)))
+        assert [p for _, p in out] == payloads
+
+    @given(st.binary(min_size=1, max_size=300), st.data())
+    @settings(max_examples=50)
+    def test_roundtrip_under_arbitrary_chunking(self, payload, data):
+        writer, reader = _channel()
+        wire = writer.seal(CONTENT_APPLICATION, payload)
+        out = []
+        i = 0
+        while i < len(wire):
+            step = data.draw(st.integers(1, len(wire) - i))
+            out.extend(reader.feed(wire[i : i + step]))
+            i += step
+        assert out == [(CONTENT_APPLICATION, payload)]
+
+
+class TestKeyEscrow:
+    def test_register_redeem(self):
+        escrow = KeyEscrow()
+        escrow.register(b"t" * 16, b"s" * 32)
+        assert escrow.redeem(b"t" * 16) == b"s" * 32
+
+    def test_unknown_token(self):
+        with pytest.raises(HandshakeError):
+            KeyEscrow().redeem(b"?" * 16)
+
+    def test_token_collision(self):
+        escrow = KeyEscrow()
+        escrow.register(b"t" * 16, b"a" * 32)
+        with pytest.raises(HandshakeError):
+            escrow.register(b"t" * 16, b"b" * 32)
+
+
+def _tls_pair(net):
+    from repro.tls.session import KeyEscrow
+
+    escrow = KeyEscrow()
+    device = net.add_lan_host("device")
+    cloud = net.add_cloud_host("cloud")
+    dev_stack, cloud_stack = TcpStack(device), TcpStack(cloud)
+    server_sessions, server_msgs = [], []
+
+    def on_accept(conn):
+        server_sessions.append(
+            TlsSession(conn, "server", escrow=escrow,
+                       on_message=lambda s, m: server_msgs.append(m))
+        )
+
+    cloud_stack.listen(443, on_accept)
+    client_msgs = []
+    conn = dev_stack.connect(cloud.ip, 443)
+    client = TlsSession(conn, "client", escrow=escrow,
+                        on_message=lambda s, m: client_msgs.append(m))
+    return client, server_sessions, server_msgs, client_msgs
+
+
+class TestTlsSession:
+    def test_handshake_establishes_both(self, net):
+        client, servers, _, _ = _tls_pair(net)
+        net.sim.run(2.0)
+        assert client.established and servers[0].established
+
+    def test_pre_handshake_sends_are_queued(self, net):
+        client, _, server_msgs, _ = _tls_pair(net)
+        client.send_message(b"early")
+        net.sim.run(2.0)
+        assert server_msgs == [b"early"]
+
+    def test_bidirectional_messages(self, net):
+        client, servers, server_msgs, client_msgs = _tls_pair(net)
+        net.sim.run(2.0)
+        client.send_message(b"up")
+        net.sim.run(1.0)
+        servers[0].send_message(b"down")
+        net.sim.run(1.0)
+        assert server_msgs == [b"up"] and client_msgs == [b"down"]
+
+    def test_message_boundaries_preserved(self, net):
+        client, _, server_msgs, _ = _tls_pair(net)
+        net.sim.run(2.0)
+        for i in range(4):
+            client.send_message(bytes([i]) * (i + 1))
+        net.sim.run(1.0)
+        assert server_msgs == [bytes([i]) * (i + 1) for i in range(4)]
+
+    def test_wire_size_helper(self, net):
+        client, _, _, _ = _tls_pair(net)
+        assert client.wire_size(100) == 100 + RECORD_OVERHEAD
+
+    def test_close_propagates(self, net):
+        client, servers, _, _ = _tls_pair(net)
+        net.sim.run(2.0)
+        closed = []
+        servers[0].on_closed = lambda s, r: closed.append(r)
+        client.close()
+        net.sim.run(5.0)
+        assert client.closed and servers[0].closed
+        assert closed
+
+    def test_send_after_close_rejected(self, net):
+        client, _, _, _ = _tls_pair(net)
+        net.sim.run(2.0)
+        client.close()
+        with pytest.raises(RuntimeError):
+            client.send_message(b"late")
+
+    def test_bad_role_rejected(self, net):
+        device = net.add_lan_host("d2")
+        stack = TcpStack(device)
+        conn = stack.connect("34.9.9.9", 443)
+        with pytest.raises(ValueError):
+            TlsSession(conn, "peer")
