@@ -50,6 +50,11 @@ class AlarmLog:
     def raise_alarm(self, kind: str, source: str, detail: str = "") -> Alarm:
         alarm = Alarm(ts=self.sim.now, kind=kind, source=source, detail=detail)
         self.alarms.append(alarm)
+        obs = self.sim.obs
+        if obs.enabled:
+            # Stealth accounting: a stealthy attack leaves this counter at 0.
+            obs.registry.counter("alarms", "raised", kind=kind).inc()
+            obs.tracer.event("alarms", f"alarm:{kind}", source=source, detail=detail)
         return alarm
 
     def of_kind(self, kind: str) -> list[Alarm]:

@@ -4,14 +4,17 @@ from .reporting import TextTable, fmt_bool, fmt_seconds, fmt_window, mean, media
 from .timeline import (
     TimelineEntry,
     build_timeline,
+    build_timeline_from_trace,
     ordering_violations,
     render_timeline,
+    render_timeline_from_trace,
 )
 
 __all__ = [
     "TextTable",
     "TimelineEntry",
     "build_timeline",
+    "build_timeline_from_trace",
     "fmt_bool",
     "fmt_seconds",
     "fmt_window",
@@ -19,4 +22,5 @@ __all__ = [
     "median",
     "ordering_violations",
     "render_timeline",
+    "render_timeline_from_trace",
 ]

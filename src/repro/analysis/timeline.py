@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..obs.tracing import Span
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..testbed import SmartHomeTestbed
 
@@ -21,6 +23,7 @@ KIND_RULE = "rule"
 KIND_ACTION = "action"
 KIND_NOTIFY = "notify"
 KIND_ALARM = "alarm"
+KIND_ATTACK = "attack"
 
 
 @dataclass(frozen=True)
@@ -91,6 +94,98 @@ def build_timeline(tb: "SmartHomeTestbed", since: float = 0.0) -> list[TimelineE
 
 def render_timeline(tb: "SmartHomeTestbed", since: float = 0.0) -> str:
     return "\n".join(str(entry) for entry in build_timeline(tb, since=since))
+
+
+def build_timeline_from_trace(spans: list[Span], since: float = 0.0) -> list[TimelineEntry]:
+    """Rebuild a campaign timeline purely from recorded span data.
+
+    This is the offline counterpart of :func:`build_timeline`: a trace
+    exported with :meth:`~repro.obs.Tracer.export_jsonl` round-trips into
+    the same chronological view without a live testbed — plus the attacker
+    hold windows, which the live view cannot see.
+    """
+    entries: list[TimelineEntry] = []
+    for span in spans:
+        if span.component == "device" and span.name.startswith("stimulus:"):
+            if span.start >= since:
+                entries.append(
+                    TimelineEntry(
+                        span.start,
+                        KIND_PHYSICAL,
+                        str(span.attrs.get("device_id", "?")),
+                        span.name.split(":", 1)[1],
+                    )
+                )
+        elif span.component == "appproto" and span.name.startswith("event:"):
+            delivered = span.attrs.get("delivered_at")
+            if delivered is not None and delivered >= since:
+                entries.append(
+                    TimelineEntry(
+                        delivered,
+                        KIND_SERVER_EVENT,
+                        str(span.attrs.get("device_id", "?")),
+                        f"'{span.name.split(':', 1)[1]}' arrived "
+                        f"(generated {delivered - span.start:.2f}s earlier)",
+                    )
+                )
+        elif span.component == "attack" and span.name.startswith("hold"):
+            if span.start >= since:
+                held = (
+                    "still holding"
+                    if span.end is None
+                    else f"held {span.duration:.2f}s ({span.attrs.get('reason', '?')})"
+                )
+                entries.append(
+                    TimelineEntry(
+                        span.start,
+                        KIND_ATTACK,
+                        str(span.attrs.get("flow", "?")),
+                        f"{span.name} {held}",
+                    )
+                )
+        elif span.component == "automation" and span.name.startswith("rule:"):
+            if span.start >= since:
+                if span.attrs.get("action_taken"):
+                    outcome = "fired"
+                elif not span.attrs.get("condition_met", True):
+                    outcome = "condition unmet"
+                else:
+                    outcome = "no action"
+                entries.append(
+                    TimelineEntry(
+                        span.start,
+                        KIND_RULE,
+                        span.name.split(":", 1)[1],
+                        f"{span.attrs.get('trigger', '?')} -> {outcome}",
+                    )
+                )
+        elif span.component == "cloud" and span.name.startswith("notify:"):
+            delivered = span.attrs.get("delivered_at")
+            if delivered is not None and delivered >= since:
+                entries.append(
+                    TimelineEntry(
+                        delivered,
+                        KIND_NOTIFY,
+                        span.name.split(":", 1)[1],
+                        str(span.attrs.get("message", "")),
+                    )
+                )
+        elif span.component == "alarms" and span.name.startswith("alarm:"):
+            if span.start >= since:
+                entries.append(
+                    TimelineEntry(
+                        span.start,
+                        KIND_ALARM,
+                        str(span.attrs.get("source", "?")),
+                        span.name.split(":", 1)[1],
+                    )
+                )
+    entries.sort(key=lambda e: (e.ts, e.kind))
+    return entries
+
+
+def render_timeline_from_trace(spans: list[Span], since: float = 0.0) -> str:
+    return "\n".join(str(entry) for entry in build_timeline_from_trace(spans, since=since))
 
 
 def ordering_violations(tb: "SmartHomeTestbed", since: float = 0.0) -> list[tuple[str, str]]:

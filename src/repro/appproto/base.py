@@ -31,7 +31,7 @@ from ..alarms import (
     ALARM_TLS_ALERT,
     AlarmLog,
 )
-from ..tcp.connection import TcpCallbacks, TcpConfig, TcpConnection
+from ..tcp.connection import TcpConfig, TcpConnection
 from ..tcp.stack import TcpStack
 from ..tls.session import KeyEscrow, RECORD_OVERHEAD, TlsSession
 from .codecs import WireCodec, codec_by_name
@@ -298,7 +298,23 @@ class DeviceProtocolClient:
         record = SentEvent(message=message, sent_at=self.sim.now)
         self.events.append(record)
         self.stats["events_sent"] += 1
-        self._send_message(message, wire_size=wire_size)
+        obs = self.sim.obs
+        if obs.enabled:
+            flow = ""
+            if self.session is not None:
+                flow = self.session.conn.flow_label()
+            span = obs.tracer.start_span(
+                "appproto",
+                f"event:{message.name}",
+                msg_id=message.msg_id,
+                device_id=self.device_id,
+                flow=flow,
+            )
+            obs.tracer.bind_message(message.msg_id, span)
+            with obs.tracer.ambient(span):
+                self._send_message(message, wire_size=wire_size)
+        else:
+            self._send_message(message, wire_size=wire_size)
         if self.config.event_ack_timeout is not None and self.config.event_acked:
             self._pending_event_timers[message.msg_id] = self.sim.schedule(
                 self.config.event_ack_timeout,
@@ -363,6 +379,10 @@ class DeviceProtocolClient:
         if not self.connected or self.session is None or self.session.closed:
             return
         self.stats["keepalives_sent"] += 1
+        if self.sim.obs.enabled:
+            self.sim.obs.registry.counter(
+                "appproto", "keepalives_sent", device=self.device_id
+            ).inc()
         self._send_message(
             IoTMessage(
                 kind=KEEPALIVE,
@@ -419,6 +439,15 @@ class DeviceProtocolClient:
 
     def _on_event_ack(self, ack: IoTMessage) -> None:
         self.stats["event_acks"] += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.event(
+                "appproto",
+                "event_ack",
+                parent=obs.tracer.message_span(ack.msg_id),
+                msg_id=ack.msg_id,
+                device_id=self.device_id,
+            )
         timer = self._pending_event_timers.pop(ack.msg_id, None)
         if timer is not None:
             timer.cancel()
@@ -592,17 +621,35 @@ class ServerDeviceSession:
 
     def _on_event_message(self, message: IoTMessage) -> None:
         window = self.config.staleness_discard
+        obs = self.sim.obs
+        msg_span = obs.tracer.message_span(message.msg_id) if obs.enabled else None
         if window is not None and self.sim.now - message.device_time > window:
             # Finding 2: stale events are dropped with no notification at all.
             self.events_discarded_stale.append((self.sim.now, message))
+            if msg_span is not None:
+                obs.registry.counter(
+                    "appproto", "events_discarded_stale", server=self.server_name
+                ).inc()
+                obs.tracer.end_span(msg_span, discarded_stale=True)
             if self.config.event_acked:
                 self._reply(message.make_ack(device_time=self.sim.now), self.config.ack_size)
             return
         self.events_received.append((self.sim.now, message))
+        if msg_span is not None:
+            obs.registry.counter(
+                "appproto", "events_received", server=self.server_name
+            ).inc()
+            # The endpoint receipt is "delivery" for attribution purposes;
+            # downstream cloud/automation spans hang off the same tree.
+            obs.tracer.end_span(msg_span, delivered_at=self.sim.now)
         if self.config.event_acked:
             self._reply(message.make_ack(device_time=self.sim.now), self.config.ack_size)
         if self.on_event is not None:
-            self.on_event(self, message)
+            if msg_span is not None:
+                with obs.tracer.ambient(msg_span):
+                    self.on_event(self, message)
+            else:
+                self.on_event(self, message)
 
     def _on_command_ack(self, ack: IoTMessage) -> None:
         entry = self.pending_commands.pop(ack.msg_id, None)

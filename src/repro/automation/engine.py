@@ -99,6 +99,9 @@ class AutomationEngine:
         )
         self.event_log.append(received)
         self._update_shadow(device_id, event_name, device_time)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter("automation", "events_in", engine=self.name).inc()
         if (
             self.trigger_max_age is not None
             and self.sim.now - device_time > self.trigger_max_age
@@ -107,6 +110,10 @@ class AutomationEngine:
             # Note the asymmetry the paper points out — the shadow update
             # above still happened late, so condition-delay attacks survive.
             self.stale_triggers_suppressed.append(received)
+            if obs.enabled:
+                obs.registry.counter(
+                    "automation", "stale_triggers_suppressed", engine=self.name
+                ).inc()
             return []
         fired: list[RuleFiring] = []
         for rule in self.rules:
@@ -124,6 +131,25 @@ class AutomationEngine:
         )
 
     def _evaluate(self, rule: Rule, trigger_event: str) -> RuleFiring:
+        obs = self.sim.obs
+        if obs.enabled:
+            with obs.tracer.span(
+                "automation", f"rule:{rule.rule_id}", trigger=trigger_event
+            ) as span:
+                firing = self._evaluate_inner(rule, trigger_event)
+                span.attrs["condition_met"] = firing.condition_met
+                span.attrs["action_taken"] = firing.action_taken
+            obs.registry.counter(
+                "automation", "rule_evaluations", rule=rule.rule_id
+            ).inc()
+            if firing.action_taken:
+                obs.registry.counter(
+                    "automation", "rule_firings", rule=rule.rule_id
+                ).inc()
+            return firing
+        return self._evaluate_inner(rule, trigger_event)
+
+    def _evaluate_inner(self, rule: Rule, trigger_event: str) -> RuleFiring:
         condition_met = True
         detail = ""
         if rule.condition is not None:

@@ -190,6 +190,68 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """Observed e-Delay run: metrics table, span tree, delay attribution."""
+    from .obs import Tracer, attribute_delay, link_hold_spans, render_span_tree
+
+    if args.trace:
+        # Offline mode: render a previously exported trace.
+        spans = Tracer.import_jsonl(args.trace)
+        link_hold_spans(spans)
+        print(render_span_tree(spans))
+        from .analysis.timeline import render_timeline_from_trace
+
+        print()
+        print(render_timeline_from_trace(spans))
+        return 0
+
+    from .automation import parse_rule
+    from .core import PhantomDelayAttacker
+    from .core.attacks import StateUpdateDelay
+    from .testbed import SmartHomeTestbed
+
+    home = SmartHomeTestbed(seed=args.seed, observe=True)
+    smoke = home.add_device("SM1")
+    home.install_rule(
+        parse_rule('WHEN sm1 smoke.detected THEN NOTIFY push "SMOKE DETECTED"')
+    )
+    home.settle()
+    attacker = PhantomDelayAttacker.deploy(home)
+    delay = StateUpdateDelay(attacker, smoke)
+    home.run(70.0)  # watch a keep-alive pass so the session phase is known
+    delay.arm()
+    fire_at = home.now
+    smoke.stimulate("detected")
+    home.run(120.0)
+
+    obs = home.obs
+    tracer = obs.tracer
+    link_hold_spans(tracer.spans)
+    message = next(
+        s for s in tracer.spans
+        if s.component == "appproto" and s.name == "event:smoke.detected"
+    )
+    print(obs.registry.render_table())
+    print()
+    print("Span tree of the delayed smoke alert:")
+    print(tracer.render_tree(message.trace_id))
+    print()
+    attribution = attribute_delay(tracer.spans, message.attrs["msg_id"])
+    if attribution is not None:
+        print(attribution.render())
+    delivered = home.notifier.first_delivery_time("SMOKE DETECTED")
+    if delivered is not None:
+        print(f"\nphone notification: {delivered - fire_at:.2f}s after ignition "
+              f"(alarms: {home.alarms.summary() or 'none'})")
+    if args.export_trace:
+        count = tracer.export_jsonl(args.export_trace)
+        print(f"wrote {count} spans to {args.export_trace}")
+    if args.export_metrics:
+        count = obs.registry.export_jsonl(args.export_metrics)
+        print(f"wrote {count} metrics to {args.export_metrics}")
+    return 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     status = 0
     for runner in (
@@ -239,6 +301,22 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=doc)
         p.set_defaults(func=fn)
+    observe = sub.add_parser(
+        "observe",
+        help="observed e-Delay run: metrics, span tree, delay attribution",
+    )
+    observe.add_argument(
+        "--trace", type=str, default=None,
+        help="render a previously exported trace JSONL instead of running",
+    )
+    observe.add_argument(
+        "--export-trace", type=str, default=None, help="write spans to this JSONL path"
+    )
+    observe.add_argument(
+        "--export-metrics", type=str, default=None,
+        help="write the metrics snapshot to this JSONL path",
+    )
+    observe.set_defaults(func=_cmd_observe)
     return parser
 
 

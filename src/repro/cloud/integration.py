@@ -102,6 +102,8 @@ class IntegrationServer:
 
     def _deliver_event(self, source_id: str, message: IoTMessage) -> None:
         self.stats["events_in"] += 1
+        obs = self.sim.obs
+        msg_span = obs.tracer.message_span(message.msg_id) if obs.enabled else None
         window = self.event_staleness_window
         age = self.sim.now - message.device_time
         if window is not None and age > window:
@@ -111,13 +113,38 @@ class IntegrationServer:
                 DiscardedEvent(ts=self.sim.now, source_id=source_id,
                                event_name=message.name, age=age)
             )
+            if msg_span is not None:
+                obs.registry.counter(
+                    "cloud", "events_discarded", server=self.name
+                ).inc()
+                obs.tracer.event(
+                    "cloud",
+                    "discard_stale",
+                    parent=msg_span,
+                    server=self.name,
+                    age=round(age, 6),
+                )
             return
-        self.engine.handle_event(
-            device_id=source_id,
-            event_name=message.name,
-            device_time=message.device_time,
-            data=message.data,
-        )
+        if msg_span is not None:
+            obs.registry.counter("cloud", "events_delivered", server=self.name).inc()
+            # The c2c hop broke the ambient chain; re-attach via the msg_id
+            # binding so engine/rule/notify spans join the message's trace.
+            with obs.tracer.span(
+                "cloud", "deliver", parent=msg_span, server=self.name, source=source_id
+            ):
+                self.engine.handle_event(
+                    device_id=source_id,
+                    event_name=message.name,
+                    device_time=message.device_time,
+                    data=message.data,
+                )
+        else:
+            self.engine.handle_event(
+                device_id=source_id,
+                event_name=message.name,
+                device_time=message.device_time,
+                data=message.data,
+            )
 
     # -------------------------------------------------------------- commands
 

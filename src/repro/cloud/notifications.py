@@ -23,6 +23,8 @@ class Notification:
     message: str
     channel: str
     delivered_at: float | None = None
+    #: Open obs span covering send..handset delivery (None when tracing off).
+    obs_span: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def delivered(self) -> bool:
@@ -40,12 +42,22 @@ class NotificationService:
     def deliver(self, message: str, channel: str = "push") -> Notification:
         notification = Notification(sent_at=self.sim.now, message=message, channel=channel)
         self.notifications.append(notification)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter("cloud", "notifications", channel=channel).inc()
+            notification.obs_span = obs.tracer.start_span(
+                "cloud", f"notify:{channel}", message=message
+            )
         latency = self.push_latency if channel == "push" else 0.1
         self.sim.schedule(latency, self._mark_delivered, notification, label="notify")
         return notification
 
     def _mark_delivered(self, notification: Notification) -> None:
         notification.delivered_at = self.sim.now
+        if notification.obs_span is not None:
+            self.sim.obs.tracer.end_span(
+                notification.obs_span, delivered_at=self.sim.now
+            )
 
     def delivered(self) -> list[Notification]:
         return [n for n in self.notifications if n.delivered]

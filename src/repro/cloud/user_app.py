@@ -9,7 +9,7 @@ taps rides the same delayed path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, TYPE_CHECKING
 
 from ..automation.engine import ShadowState

@@ -15,7 +15,7 @@ enough that a slipped packet merely reorders (TCP reassembly repairs it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..simnet.host import Host

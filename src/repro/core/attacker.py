@@ -29,7 +29,6 @@ from .primitives import CDelay, DelayOperation, EDelay
 from .profiler import TimeoutProfiler
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..devices.base import IoTDevice, WifiDevice
     from ..testbed import SmartHomeTestbed
 
 

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Any, TYPE_CHECKING
 
 from ...devices.base import IoTDevice
-from ...devices.profiles import TABLE_CLOUD
 from ...testbed import SmartHomeTestbed
 from ..attacker import PhantomDelayAttacker
 from ..predictor import TimeoutBehavior
@@ -37,6 +36,8 @@ class ScenarioResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     alarms: dict[str, int] = field(default_factory=dict)
     notifications: list[tuple[float, str]] = field(default_factory=list)
+    #: Observability facade of the run (None unless run with ``observe``).
+    obs: Any = None
 
     @property
     def stealthy(self) -> bool:
@@ -110,12 +111,18 @@ def run_scenario(
     scenario: Scenario,
     attacked: bool,
     seed: int = 0,
+    observe: bool = False,
 ) -> ScenarioResult:
-    """Execute one scenario run and collect its result."""
+    """Execute one scenario run and collect its result.
+
+    With ``observe`` the testbed records metrics and causal spans; the
+    result's ``obs`` field exposes them for post-run attribution.
+    """
     tb = SmartHomeTestbed(
         seed=seed,
         integration_staleness=scenario.integration_staleness,
         trigger_timestamp_window=scenario.trigger_timestamp_window,
+        observe=observe,
     )
     ctx = scenario.build(tb)
     tb.settle(scenario.settle)
@@ -139,11 +146,14 @@ def run_scenario(
             for n in tb.notifier.notifications
             if n.delivered_at is not None
         ],
+        obs=tb.obs if observe else None,
     )
 
 
-def compare_scenario(scenario: Scenario, seed: int = 0) -> tuple[ScenarioResult, ScenarioResult]:
+def compare_scenario(
+    scenario: Scenario, seed: int = 0, observe: bool = False
+) -> tuple[ScenarioResult, ScenarioResult]:
     """Run the same scenario without and with the attack."""
-    baseline = run_scenario(scenario, attacked=False, seed=seed)
-    attacked = run_scenario(scenario, attacked=True, seed=seed)
+    baseline = run_scenario(scenario, attacked=False, seed=seed, observe=observe)
+    attacked = run_scenario(scenario, attacked=True, seed=seed, observe=observe)
     return baseline, attacked

@@ -21,7 +21,7 @@ behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...analysis.reporting import TextTable, fmt_window
 from ...automation.rules import CommandAction, NotifyAction, Rule

@@ -92,6 +92,8 @@ class Hold:
     released_at: float | None = None
     end_reason: str | None = None
     flow: FlowKey | None = None
+    #: Open obs span covering trigger..release (None when tracing is off).
+    obs_span: object | None = None
     queue: list[HeldPacket] = field(default_factory=list)
     forged_acks: int = 0
     #: Invoked (with the hold) the moment the trigger message is captured.
@@ -200,6 +202,16 @@ class TcpHijacker:
         hold.released_at = self.sim.now
         hold.end_reason = reason
         self.stats["released"] += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter("attack", "holds_released", reason=reason).inc()
+            if hold.obs_span is not None:
+                obs.tracer.end_span(
+                    hold.obs_span,
+                    reason=reason,
+                    held_count=hold.held_count,
+                    forged_acks=hold.forged_acks,
+                )
         for held in hold.queue:
             self._forward(held.packet)
 
@@ -257,6 +269,19 @@ class TcpHijacker:
                     continue
                 hold.triggered_at = self.sim.now
                 hold.flow = key
+                obs = self.sim.obs
+                if obs.enabled:
+                    # Recorded against the *flow* only: the hijacker cannot
+                    # see msg_ids inside TLS.  link_hold_spans() stitches
+                    # this orphan into the message's trace afterwards.
+                    hold.obs_span = obs.tracer.start_span(
+                        "attack",
+                        f"hold:{hold.label or hold.direction}",
+                        new_trace=True,
+                        flow=key.label(),
+                        direction=hold.direction,
+                        hold_id=hold.hold_id,
+                    )
                 if hold.on_triggered is not None:
                     hold.on_triggered(hold)
                 return hold
@@ -319,6 +344,8 @@ class TcpHijacker:
         )
         hold.forged_acks += 1
         self.stats["forged_acks"] += 1
+        if self.sim.obs.enabled:
+            self.sim.obs.registry.counter("attack", "forged_acks").inc()
         self.host.send_ip(IpPacket(src_ip=packet.dst_ip, dst_ip=packet.src_ip, payload=ack))
 
     def _forward(self, packet: IpPacket) -> None:

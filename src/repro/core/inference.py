@@ -18,7 +18,7 @@ This module implements both steps against capture metadata only:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, TYPE_CHECKING
 
 from ..analysis.reporting import TextTable

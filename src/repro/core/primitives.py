@@ -16,7 +16,7 @@ upper bound" highlighted for HAP.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, TYPE_CHECKING
 
 from .hijacker import Hold, TcpHijacker

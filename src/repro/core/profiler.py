@@ -27,8 +27,8 @@ from ..appproto.keepalive import FIXED, ON_IDLE
 from ..simnet.inet import DnsRegistry
 from ..simnet.trace import PacketCapture
 from .fingerprint import extract_observation
-from .hijacker import Hold, TcpHijacker, UPLINK
-from .predictor import TimeoutBehavior, TimeoutPredictor
+from .hijacker import Hold, TcpHijacker
+from .predictor import TimeoutBehavior
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simnet.scheduler import Simulator

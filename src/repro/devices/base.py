@@ -61,7 +61,21 @@ class IoTDevice:
         self._set_state(self.behavior.attribute, value)
         payload = {"value": value}
         payload.update(data or {})
-        self._emit_event(self.behavior.event_name(value), payload)
+        event_name = self.behavior.event_name(value)
+        obs = self.sim.obs
+        if obs.enabled:
+            # Root of the causal trace: the I(E) instant.  Downstream layers
+            # (appproto/TLS/TCP, and the server side via msg_id binding)
+            # nest under it.
+            with obs.tracer.span(
+                "device",
+                f"stimulus:{event_name}",
+                device_id=self.device_id,
+                kind=self.profile.kind,
+            ):
+                self._emit_event(event_name, payload)
+        else:
+            self._emit_event(event_name, payload)
 
     @property
     def attribute_value(self) -> str:
@@ -215,19 +229,42 @@ class HubDevice(WifiDevice):
         length-based fingerprinting can tell children apart on the shared
         session — exactly what the paper's sniffing step exploits.
         """
+        obs = self.sim.obs
+        parent_span = obs.tracer.current if obs.enabled else None
         self.sim.schedule(
             ZIGBEE_LATENCY,
             self._send_child_event,
             child,
             name,
             dict(data),
+            parent_span,
             label=f"{self.device_id}:zigbee",
         )
 
-    def _send_child_event(self, child: "HubChildDevice", name: str, data: dict[str, Any]) -> None:
+    def _send_child_event(
+        self,
+        child: "HubChildDevice",
+        name: str,
+        data: dict[str, Any],
+        parent_span: Any = None,
+    ) -> None:
         data = dict(data)
         data["child"] = child.device_id
-        self.client.send_event(name, data, wire_size=child.profile.event_size)
+        obs = self.sim.obs
+        if obs.enabled and parent_span is not None:
+            # The Zigbee hop broke the synchronous chain; re-enter the
+            # stimulus span so the uplink message stays in the same trace.
+            with obs.tracer.ambient(parent_span):
+                obs.tracer.event(
+                    "device",
+                    "zigbee_hop",
+                    hub=self.device_id,
+                    child=child.device_id,
+                    latency=ZIGBEE_LATENCY,
+                )
+                self.client.send_event(name, data, wire_size=child.profile.event_size)
+        else:
+            self.client.send_event(name, data, wire_size=child.profile.event_size)
 
     def _route_command(self, message: IoTMessage) -> None:
         child_id = message.data.get("child")

@@ -27,7 +27,7 @@ sub-minute).  EXPERIMENTS.md records paper-stated vs measured per anchor.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from ..appproto.base import ProtocolConfig
 from ..appproto.keepalive import FIXED, KeepAlivePolicy, ON_IDLE

@@ -14,7 +14,7 @@ stopped, exactly as the paper argues.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass
 
 from ..analysis.reporting import TextTable, fmt_window
 from ..core.attacker import PhantomDelayAttacker
@@ -28,7 +28,6 @@ from ..core.predictor import TimeoutBehavior
 from ..countermeasures.ack_timeout import (
     battery_life_days,
     harden_profile,
-    keepalive_traffic_rate,
     sweep_keepalive_period,
 )
 from ..countermeasures.timestamp_check import DelayAnomalyDetector

@@ -21,7 +21,7 @@ from ..core.attacker import PhantomDelayAttacker
 from ..simnet.trace import FlowKey
 from ..core.predictor import TimeoutBehavior
 from ..testbed import SmartHomeTestbed
-from ._util import run_until, uplink_ip_of
+from ._util import run_until
 
 
 @dataclass
@@ -58,7 +58,7 @@ def finding1_half_open(seed: int = 17) -> Finding1Result:
     sessions_before = keypad.client.stats["sessions_opened"]
     # Hold the event past the keypad's 20 s event-ack timeout on purpose
     # (clamp off: this experiment *wants* the device-side timeout).
-    operation = attacker.delay_next_event(
+    attacker.delay_next_event(
         keypad.host.ip,  # type: ignore[attr-defined]
         TimeoutBehavior.from_profile(keypad.profile),
         duration=40.0,

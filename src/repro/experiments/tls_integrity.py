@@ -25,7 +25,6 @@ from ..core.predictor import TimeoutBehavior
 from ..simnet.packet import EthernetFrame, IpPacket
 from ..tcp.segment import TcpSegment, seq_add
 from ..testbed import SmartHomeTestbed
-from ._util import run_until
 
 MODES = ("pass-through", "hold-release", "corrupt", "inject", "drop")
 

@@ -1,0 +1,162 @@
+"""Phantom-delay attribution: where did a message's latency go?
+
+The paper's headline number — "the alert arrived 72 s late and nothing
+alarmed" — begs the obvious follow-up: *which* mechanism contributed what.
+This module decomposes one traced message's end-to-end delay into
+
+* **attacker_hold** — time the hijacker's hold kept segments buffered
+  (from the hold span's trigger to its release, clipped to the message's
+  in-flight window);
+* **tcp_retransmission** — time spent waiting on retransmission timers for
+  the message's flow (each ``tcp/retx`` event carries the RTO that elapsed
+  before it fired);
+* **transit** — the residual: link/cloud latency and endpoint processing.
+
+The three components sum to the observed end-to-end delay by construction,
+so the interesting output is their *ratio* — in a clean e-Delay run the
+hold dominates and retransmission is exactly zero, which is the paper's
+decoupling claim in one line of arithmetic.
+
+Attacker hold spans are recorded against the *flow* (the hijacker cannot
+see msg_ids inside TLS), so :func:`link_hold_spans` stitches them into the
+message's span tree by flow match and time overlap before rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tracing import Span
+
+
+@dataclass
+class DelayAttribution:
+    """Decomposition of one message's delivery delay."""
+
+    trace_id: int
+    msg_id: int | None
+    origin_ts: float
+    delivered_ts: float
+    attacker_hold: float
+    tcp_retransmission: float
+    transit: float
+
+    @property
+    def total(self) -> float:
+        return self.delivered_ts - self.origin_ts
+
+    @property
+    def components_sum(self) -> float:
+        return self.attacker_hold + self.tcp_retransmission + self.transit
+
+    def render(self) -> str:
+        lines = [
+            f"end-to-end delay : {self.total:9.3f} s "
+            f"(origin {self.origin_ts:.3f} -> delivered {self.delivered_ts:.3f})",
+            f"  attacker hold  : {self.attacker_hold:9.3f} s",
+            f"  tcp retransmit : {self.tcp_retransmission:9.3f} s",
+            f"  transit/other  : {self.transit:9.3f} s",
+        ]
+        return "\n".join(lines)
+
+
+def _message_span(spans: list[Span], msg_id: int) -> Span | None:
+    for span in spans:
+        if span.component == "appproto" and span.attrs.get("msg_id") == msg_id:
+            return span
+    return None
+
+
+def _overlap(lo_a: float, hi_a: float, lo_b: float, hi_b: float) -> float:
+    return max(0.0, min(hi_a, hi_b) - max(lo_a, lo_b))
+
+
+def hold_spans_for_flow(spans: list[Span], flow: str) -> list[Span]:
+    return [
+        s
+        for s in spans
+        if s.component == "attack"
+        and s.name.startswith("hold")
+        and s.attrs.get("flow") == flow
+    ]
+
+
+def link_hold_spans(spans: list[Span]) -> int:
+    """Reparent orphan attacker-hold spans onto the message they delayed.
+
+    A hold span joins a message span's tree when their flows match and the
+    hold's window overlaps the message's in-flight window.  Returns the
+    number of spans relinked (idempotent — already-linked spans are
+    skipped).
+    """
+    messages = [
+        s for s in spans if s.component == "appproto" and "flow" in s.attrs
+    ]
+    linked = 0
+    for hold in spans:
+        if hold.component != "attack" or not hold.name.startswith("hold"):
+            continue
+        if hold.parent_id is not None:
+            continue
+        hold_end = hold.end if hold.end is not None else float("inf")
+        for message in messages:
+            msg_end = message.end if message.end is not None else float("inf")
+            if message.attrs.get("flow") != hold.attrs.get("flow"):
+                continue
+            if _overlap(hold.start, hold_end, message.start, msg_end) <= 0:
+                continue
+            hold.parent_id = message.span_id
+            hold.trace_id = message.trace_id
+            linked += 1
+            break
+    return linked
+
+
+def attribute_delay(spans: list[Span], msg_id: int) -> DelayAttribution | None:
+    """Decompose the delivery delay of the message with ``msg_id``.
+
+    Returns None when the message was never traced or never delivered
+    (e.g. it was silently discarded — itself a finding worth surfacing).
+    """
+    message = _message_span(spans, msg_id)
+    if message is None:
+        return None
+    delivered = message.attrs.get("delivered_at")
+    if delivered is None:
+        return None
+
+    # Origin: the physical stimulus (the device-layer root), falling back to
+    # the send instant for messages without a traced stimulus.
+    origin = message.start
+    by_id = {s.span_id: s for s in spans}
+    parent = by_id.get(message.parent_id) if message.parent_id is not None else None
+    if parent is not None and parent.component == "device":
+        origin = parent.start
+
+    flow = message.attrs.get("flow", "")
+    hold_time = 0.0
+    for hold in hold_spans_for_flow(spans, flow):
+        hold_end = hold.end if hold.end is not None else delivered
+        hold_time += _overlap(hold.start, hold_end, origin, delivered)
+
+    retx_time = 0.0
+    for span in spans:
+        if span.component != "tcp" or span.name != "retx":
+            continue
+        if span.attrs.get("flow") != flow:
+            continue
+        if origin <= span.start <= delivered:
+            retx_time += float(span.attrs.get("waited", 0.0))
+
+    total = delivered - origin
+    # The residual is transit: link latency, cloud hops, and processing.
+    transit = total - hold_time - retx_time
+    return DelayAttribution(
+        trace_id=message.trace_id,
+        msg_id=msg_id,
+        origin_ts=origin,
+        delivered_ts=delivered,
+        attacker_hold=hold_time,
+        tcp_retransmission=retx_time,
+        transit=transit,
+    )

@@ -54,6 +54,10 @@ class Host:
         self.gateway_ip = gateway_ip
         self.nic = lan.attach(self._on_frame, promiscuous=promiscuous)
         self.arp = ArpCache(sim)
+        # Lazily-created obs counters; stay None while observability is off
+        # so the per-frame cost is one attribute load and a branch.
+        self._rx_counter = None
+        self._tx_counter = None
         self.frame_taps: list[Callable[[EthernetFrame], None]] = []
         self.ip_handler: Callable[[IpPacket], None] | None = None
         self.foreign_ip_handler: Callable[[IpPacket, EthernetFrame], None] | None = None
@@ -67,6 +71,12 @@ class Host:
 
     def send_ip(self, packet: IpPacket) -> None:
         """Route ``packet``: direct on-link, or via the gateway."""
+        if self.sim.obs.enabled:
+            if self._tx_counter is None:
+                self._tx_counter = self.sim.obs.registry.counter(
+                    "host", "packets_sent", host=self.hostname
+                )
+            self._tx_counter.inc()
         if same_subnet(packet.dst_ip, self.ip):
             next_hop = packet.dst_ip
         else:
@@ -114,6 +124,12 @@ class Host:
     # --------------------------------------------------------------- receive
 
     def _on_frame(self, frame: EthernetFrame) -> None:
+        if self.sim.obs.enabled:
+            if self._rx_counter is None:
+                self._rx_counter = self.sim.obs.registry.counter(
+                    "host", "frames_received", host=self.hostname
+                )
+            self._rx_counter.inc()
         for tap in list(self.frame_taps):
             tap(frame)
         addressed_to_us = frame.dst_mac in (self.mac, BROADCAST_MAC)

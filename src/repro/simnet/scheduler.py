@@ -14,9 +14,13 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, TYPE_CHECKING
 
+from ..obs.observer import Observability
 from .clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.observer import SimObserver
 
 
 @dataclass(order=True)
@@ -33,7 +37,7 @@ class Timer:
     protocol state machines can cancel defensively.
     """
 
-    __slots__ = ("callback", "args", "when", "_cancelled", "_fired", "label")
+    __slots__ = ("callback", "args", "when", "created_at", "_cancelled", "_fired", "label")
 
     def __init__(
         self,
@@ -41,11 +45,13 @@ class Timer:
         callback: Callable[..., Any],
         args: tuple[Any, ...],
         label: str = "",
+        created_at: float = 0.0,
     ) -> None:
         self.when = when
         self.callback = callback
         self.args = args
         self.label = label
+        self.created_at = created_at
         self._cancelled = False
         self._fired = False
 
@@ -71,13 +77,23 @@ class Simulator:
     example TCP retransmission backoff randomisation) is reproducible.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    #: When the event budget is near, fire counts over this trailing window
+    #: of events are tallied so the budget error can name the hot timers.
+    BUDGET_TALLY_WINDOW = 100_000
+
+    def __init__(self, seed: int = 0, observer: "SimObserver | None" = None) -> None:
         self.clock = Clock()
         self.rng = random.Random(seed)
         self._queue: list[_Entry] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._max_events = 50_000_000  # runaway-loop backstop
+        self._tally_after = self._max_events - self.BUDGET_TALLY_WINDOW
+        self._label_fires: dict[str, int] = {}
+        #: Scheduler profiling hook; None keeps the hot loop branch-cheap.
+        self._observer = observer
+        #: Per-simulation observability facade; disabled until enabled.
+        self.obs = Observability()
 
     @property
     def now(self) -> float:
@@ -86,6 +102,33 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def max_events(self) -> int:
+        return self._max_events
+
+    @max_events.setter
+    def max_events(self, budget: int) -> None:
+        self._max_events = budget
+        self._tally_after = budget - self.BUDGET_TALLY_WINDOW
+
+    def set_observer(self, observer: "SimObserver | None") -> None:
+        """Install (or remove) the scheduler profiling observer."""
+        self._observer = observer
+
+    def enable_observability(self, profile_scheduler: bool = True) -> Observability:
+        """Turn on the metrics registry and tracer for this simulation.
+
+        With ``profile_scheduler`` a :class:`~repro.obs.SchedulerProfiler`
+        is installed as the observer; the facade is returned either way.
+        """
+        obs = self.obs.enable(self)
+        if profile_scheduler and self._observer is None:
+            from ..obs.observer import SchedulerProfiler
+
+            assert obs.registry is not None
+            self._observer = SchedulerProfiler(obs.registry)
+        return obs
 
     def schedule(
         self,
@@ -109,8 +152,10 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
-        timer = Timer(when, callback, args, label=label)
+        timer = Timer(when, callback, args, label=label, created_at=self.now)
         heapq.heappush(self._queue, _Entry(when, next(self._seq), timer))
+        if self._observer is not None:
+            self._observer.timer_scheduled(timer, self.now)
         return timer
 
     def call_soon(self, callback: Callable[..., Any], *args: Any, label: str = "") -> Timer:
@@ -133,11 +178,31 @@ class Simulator:
             self.clock.advance_to(entry.when)
             timer._fired = True
             self._events_processed += 1
-            if self._events_processed > self._max_events:
-                raise RuntimeError("simulation exceeded event budget; runaway loop?")
+            if self._events_processed > self._tally_after:
+                self._tally_near_budget(timer.label)
+            if self._observer is not None:
+                self._observer.timer_fired(timer, self.clock.now, len(self._queue))
             timer.callback(*timer.args)
             return True
         return False
+
+    def _tally_near_budget(self, label: str) -> None:
+        """Count fires by label near the budget; raise a diagnosable error.
+
+        The tally only starts within :data:`BUDGET_TALLY_WINDOW` events of
+        the budget so normal runs never pay for it; a runaway loop is by
+        definition still spinning in that window, so the top labels identify
+        the culprit without a debugger.
+        """
+        self._label_fires[label] = self._label_fires.get(label, 0) + 1
+        if self._events_processed > self._max_events:
+            top = sorted(self._label_fires.items(), key=lambda kv: -kv[1])[:5]
+            window = min(self.BUDGET_TALLY_WINDOW, self._max_events)
+            hot = ", ".join(f"{label or '<unlabelled>'} x{count}" for label, count in top)
+            raise RuntimeError(
+                f"simulation exceeded event budget ({self._max_events} events); "
+                f"runaway loop? hottest timers over the last {window} events: {hot}"
+            )
 
     def run_until(self, deadline: float) -> None:
         """Process events until the clock reaches ``deadline``.

@@ -9,6 +9,7 @@ module (:mod:`repro.core.fingerprint`) is built on these records.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Iterable, TYPE_CHECKING
 
@@ -34,6 +35,10 @@ class FlowKey:
         b = (dst_ip, dst_port)
         lo, hi = (a, b) if a <= b else (b, a)
         return FlowKey(lo[0], lo[1], hi[0], hi[1])
+
+    def label(self) -> str:
+        """Canonical display form, shared with span/flow reporting."""
+        return f"{self.ip_a}:{self.port_a}<->{self.ip_b}:{self.port_b}"
 
     def involves_ip(self, ip: str) -> bool:
         return ip in (self.ip_a, self.ip_b)
@@ -85,6 +90,9 @@ class PacketCapture:
         self.sim = sim
         self.max_frames = max_frames
         self.frames: list[CapturedFrame] = []
+        #: Frames evicted by the rolling-buffer overflow — silent loss is
+        #: itself a measurement artefact, so it is counted and exported.
+        self.dropped_frames = 0
         self._attached: list[Host] = []
 
     def attach(self, host: Host) -> None:
@@ -99,11 +107,17 @@ class PacketCapture:
 
     def clear(self) -> None:
         self.frames.clear()
+        self.dropped_frames = 0
 
     def _tap(self, frame: EthernetFrame) -> None:
         if len(self.frames) >= self.max_frames:
             # Keep the newest traffic; profiling works on recent windows.
-            del self.frames[: self.max_frames // 2]
+            evicted = self.max_frames // 2
+            del self.frames[:evicted]
+            self.dropped_frames += evicted
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.registry.counter("capture", "dropped_frames").inc(evicted)
         self.frames.append(CapturedFrame(self.sim.now, frame))
 
     # ------------------------------------------------------------- analysis
@@ -169,6 +183,7 @@ class PacketCapture:
                     "payload_bytes": payload_bytes,
                     "first_ts": frames[0].ts,
                     "last_ts": frames[-1].ts,
+                    "dropped_frames": self.dropped_frames,
                 }
             )
         out.sort(key=lambda row: row["first_ts"])
@@ -179,31 +194,37 @@ class PacketCapture:
 
         Only metadata is exported — timestamps, addressing, flags, and
         payload sizes — mirroring what an analyst keeps from encrypted
-        captures.  Returns the number of records written.
+        captures.  Returns the number of frame records written.  When the
+        rolling buffer overflowed, a leading ``capture-summary`` meta record
+        reports how many frames were evicted before this export.
         """
-        import json
-
-        count = 0
+        lines: list[str] = []
+        if self.dropped_frames:
+            lines.append(
+                json.dumps(
+                    {"meta": "capture-summary", "dropped_frames": self.dropped_frames}
+                )
+            )
+        for captured in self.frames:
+            frame = captured.frame
+            record: dict = {
+                "ts": round(captured.ts, 6),
+                "src_mac": frame.src_mac,
+                "dst_mac": frame.dst_mac,
+                "bytes": frame.byte_size(),
+                "kind": type(frame.payload).__name__,
+            }
+            payload = frame.payload
+            if isinstance(payload, IpPacket):
+                record["src_ip"] = payload.src_ip
+                record["dst_ip"] = payload.dst_ip
+                segment = payload.payload
+                if hasattr(segment, "src_port"):
+                    record["src_port"] = segment.src_port
+                    record["dst_port"] = segment.dst_port
+                    record["flags"] = sorted(segment.flags)
+                    record["payload_len"] = segment.payload_size
+            lines.append(json.dumps(record))
         with open(path, "w") as fh:
-            for captured in self.frames:
-                frame = captured.frame
-                record: dict = {
-                    "ts": round(captured.ts, 6),
-                    "src_mac": frame.src_mac,
-                    "dst_mac": frame.dst_mac,
-                    "bytes": frame.byte_size(),
-                    "kind": type(frame.payload).__name__,
-                }
-                payload = frame.payload
-                if isinstance(payload, IpPacket):
-                    record["src_ip"] = payload.src_ip
-                    record["dst_ip"] = payload.dst_ip
-                    segment = payload.payload
-                    if hasattr(segment, "src_port"):
-                        record["src_port"] = segment.src_port
-                        record["dst_port"] = segment.dst_port
-                        record["flags"] = sorted(segment.flags)
-                        record["payload_len"] = segment.payload_size
-                fh.write(json.dumps(record) + "\n")
-                count += 1
-        return count
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        return len(self.frames)

@@ -18,7 +18,7 @@ probes silences both timers while delivering nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, TYPE_CHECKING
 
 from .segment import DEFAULT_MSS, TcpSegment, seq_add, seq_leq, seq_lt
@@ -143,6 +143,14 @@ class TcpConnection:
     def established(self) -> bool:
         return self.state == ESTABLISHED
 
+    def flow_label(self) -> str:
+        """Canonical flow identifier, matching capture/hijacker reporting."""
+        from ..simnet.trace import FlowKey
+
+        return FlowKey.of(
+            self.local_ip, self.local_port, self.remote_ip, self.remote_port
+        ).label()
+
     @property
     def is_open(self) -> bool:
         return self.state not in (CLOSED, TIME_WAIT, LISTEN)
@@ -171,12 +179,20 @@ class TcpConnection:
         if self._fin_queued or self._fin_sent:
             raise RuntimeError("cannot send after close()")
         view = memoryview(bytes(data))
+        segments = 0
         for off in range(0, len(view), self.config.mss):
             chunk = bytes(view[off : off + self.config.mss])
             self._transmit(
                 self._make_segment("ACK", "PSH", payload=chunk), reliable=True
             )
+            segments += 1
         self.stats["bytes_sent"] += len(view)
+        obs = self.sim.obs
+        if obs.enabled and obs.tracer.current is not None:
+            # Child of whatever message span is ambient (TLS seal path).
+            obs.tracer.event(
+                "tcp", "send", flow=self.flow_label(), bytes=len(view), segments=segments
+            )
 
     def close(self) -> None:
         """Orderly close: send FIN once in-flight data is acknowledged."""
@@ -382,6 +398,19 @@ class TcpConnection:
             return
         oldest.retransmits += 1
         self.stats["retransmissions"] += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter("tcp", "retransmissions").inc()
+            # `waited` is the RTO that elapsed before this retransmission —
+            # the raw material of the delay attribution's TCP component.
+            obs.tracer.event(
+                "tcp",
+                "retx",
+                flow=self.flow_label(),
+                seq=oldest.segment.seq,
+                attempt=oldest.retransmits,
+                waited=current_rto,
+            )
         self._emit(oldest.segment)
         next_rto = min(current_rto * self.config.rto_backoff, self.config.rto_max)
         # Paper: "random backoff intervals" — jitter the doubling slightly.
@@ -441,6 +470,9 @@ class TcpConnection:
         if self.state == CLOSED:
             return
         self.state = CLOSED
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter("tcp", "closes", reason=reason).inc()
         self._cancel_retx_timer()
         if self._keepalive_timer is not None:
             self._keepalive_timer.cancel()

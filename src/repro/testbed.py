@@ -69,8 +69,12 @@ class SmartHomeTestbed:
         close_stale_on_reconnect: bool = False,
         lan_latency: float | None = None,
         lan_jitter: float = 0.0,
+        observe: bool = False,
     ) -> None:
         self.sim = Simulator(seed=seed)
+        if observe:
+            # Before any component is built, so every layer sees obs enabled.
+            self.sim.enable_observability()
         self.catalogue = catalogue or CATALOGUE
         self.lan = Lan(
             self.sim,
@@ -102,6 +106,11 @@ class SmartHomeTestbed:
     @property
     def now(self) -> float:
         return self.sim.now
+
+    @property
+    def obs(self):
+        """This home's observability facade (disabled unless ``observe=True``)."""
+        return self.sim.obs
 
     def run(self, duration: float) -> None:
         self.sim.run(duration)

@@ -165,7 +165,14 @@ class TlsSession:
 
     def _seal_and_send(self, content_type: int, payload: bytes) -> None:
         assert self._writer is not None
-        self.conn.send(self._writer.seal(content_type, payload))
+        record = self._writer.seal(content_type, payload)
+        obs = self.sim.obs
+        if obs.enabled and content_type == CONTENT_APPLICATION:
+            obs.registry.counter("tls", "records_sealed", role=self.role).inc()
+            if obs.tracer.current is not None:
+                # Child of the ambient message span (appproto dispatch).
+                obs.tracer.event("tls", "record", role=self.role, size=len(record))
+        self.conn.send(record)
 
     def wire_size(self, payload_len: int) -> int:
         """Wire bytes one message of ``payload_len`` occupies (record only)."""

@@ -8,7 +8,6 @@ from repro.simnet.arp import ArpCache
 from repro.simnet.host import same_subnet
 from repro.simnet.inet import DnsRegistry, Internet
 from repro.simnet.packet import IpPacket
-from repro.simnet.scheduler import Simulator
 
 
 class TestArpCache:

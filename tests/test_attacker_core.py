@@ -2,14 +2,11 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
-from repro.core.arp_spoofer import ArpSpoofer
 from repro.core.attacker import PhantomDelayAttacker
 from repro.core.fingerprint import FingerprintDatabase, extract_observation
-from repro.core.hijacker import TcpHijacker, UPLINK, DOWNLINK
 from repro.core.predictor import (
     CAUSE_EVENT_ACK,
     CAUSE_KEEPALIVE_REPLY,

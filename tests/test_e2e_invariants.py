@@ -7,7 +7,6 @@ windows are honoured across the catalogue.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -9,7 +9,6 @@ from repro.core.hijacker import Hold
 from repro.core.predictor import TimeoutBehavior
 from repro.simnet.packet import IpPacket
 from repro.tcp.stack import TcpStack
-from repro.tls.record import CONTENT_HANDSHAKE
 from repro.tls.session import GLOBAL_ESCROW, KeyEscrow, TlsSession, _plain_record
 from repro.testbed import SmartHomeTestbed
 
@@ -120,9 +119,7 @@ class TestEndpointStaleHandling:
         tb = SmartHomeTestbed(seed=193)
         endpoint = tb.endpoint("ring")
         # A device the endpoint never registered connects anyway.
-        from repro.alarms import AlarmLog
         from repro.appproto.base import DeviceProtocolClient, ProtocolConfig
-        from repro.devices.profiles import CATALOGUE
 
         host = tb.add_attacker_host("rogue")  # any LAN host will do
         stack = TcpStack(host)

@@ -7,7 +7,6 @@ criteria, or renderers surface in the unit suite.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -5,8 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import KnowledgeBase, PhantomDelayAttacker, TimeoutBehavior
-from repro.core.knowledge import KnowledgeEntry
-from repro.devices.profiles import CATALOGUE
 from repro.experiments._util import run_until
 from repro.testbed import SmartHomeTestbed
 

@@ -80,7 +80,7 @@ class TestLanDelivery:
         sim, lan = self._lan()
         got_a, got_b = [], []
         nic_a = lan.attach(got_a.append)
-        nic_b = lan.attach(got_b.append)
+        lan.attach(got_b.append)
         sender = lan.attach(lambda f: None)
         sender.send(EthernetFrame(sender.mac, nic_a.mac, None))
         sim.run(1.0)

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
 from repro.core.attacker import PhantomDelayAttacker
 from repro.core.predictor import TimeoutBehavior
-from repro.devices.profiles import CATALOGUE
 from repro.experiments._util import run_until
 from repro.testbed import SmartHomeTestbed
 

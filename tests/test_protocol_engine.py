@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.appproto.base import ProtocolConfig
 from repro.appproto.keepalive import FIXED, KeepAlivePolicy, ON_IDLE

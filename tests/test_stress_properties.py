@@ -7,11 +7,9 @@ for granted.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.attacker import PhantomDelayAttacker
-from repro.core.hijacker import TcpHijacker
 from repro.simnet.link import Lan
 from repro.simnet.packet import EthernetFrame, IpPacket
 from repro.simnet.scheduler import Simulator

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.tls.errors import HandshakeError, MacVerificationError, RecordFormatError
 from repro.tls.record import (
-    CONTENT_ALERT,
     CONTENT_APPLICATION,
     HEADER_BYTES,
     MAC_BYTES,
@@ -17,7 +16,6 @@ from repro.tls.record import (
 )
 from repro.tls.session import KeyEscrow, RECORD_OVERHEAD, TlsSession
 from repro.tcp.stack import TcpStack
-from repro.tcp.connection import TcpCallbacks
 
 
 def _channel(master=b"m" * 32):

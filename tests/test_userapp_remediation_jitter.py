@@ -79,7 +79,7 @@ class TestRemediationPolicy:
 
         tb = SmartHomeTestbed(seed=231)
         presence = tb.add_device("PR1")
-        lock = tb.add_device("LK1")
+        tb.add_device("LK1")
         storm = tb.add_device("C5")
         tb.install_rule(parse_rule(
             "WHEN c5 contact.open IF pr1.presence == present THEN COMMAND lk1 unlock"
