@@ -1,0 +1,49 @@
+"""Perf-trajectory recorder: merges results into ``BENCH_campaign.json``.
+
+Every perf-sensitive bench records its headline numbers here so the
+repository carries a machine-readable history of how fast the simulator
+and the campaign runner are.  The file lives at the repo root (override
+with ``REPRO_BENCH_OUT``) and CI uploads it as an artifact, so a perf
+regression shows up as a diff, not as a vague feeling.
+
+Records are merged by bench name — re-running one bench updates its entry
+and leaves the others alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any
+
+_DEFAULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_campaign.json")
+
+
+def bench_out_path() -> str:
+    return os.path.abspath(os.environ.get("REPRO_BENCH_OUT", _DEFAULT_PATH))
+
+
+def record_bench(name: str, **fields: Any) -> dict[str, Any]:
+    """Merge one bench's results into the campaign perf file."""
+    path = bench_out_path()
+    data: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    benches = data.setdefault("benchmarks", {})
+    benches[name] = {
+        **fields,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    data["updated_at"] = benches[name]["recorded_at"]
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return benches[name]

@@ -3,9 +3,22 @@
 Every bench regenerates one of the paper's artefacts end-to-end, so each
 is run exactly once (``pedantic(rounds=1, iterations=1)``) — the interesting
 output is the reproduced table, printed to stdout, not the timing
-distribution.  Trial counts follow the paper's 20 unless overridden with
-``REPRO_BENCH_TRIALS`` (the simulation is deterministic, so lower counts
-measure the same values faster).
+distribution.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_TRIALS``
+    Measurement trials per message type.  Defaults to the paper's 20; the
+    simulation is deterministic, so lower counts measure the same values
+    faster.  CI's smoke job runs with ``REPRO_BENCH_TRIALS=2``.
+``REPRO_BENCH_JOBS``
+    Worker-process count for the parallel campaign benches.  Defaults to
+    the machine's CPU count (capped by ``repro.parallel.JOBS_CAP``).
+``REPRO_BENCH_OUT``
+    Where ``benchmarks/_perf.record_bench`` writes the perf-trajectory
+    file (default: ``BENCH_campaign.json`` at the repo root).
+``REPRO_BENCH_EVENTS``
+    Workload size for the scheduler micro-benchmark.
 """
 
 from __future__ import annotations
@@ -17,6 +30,16 @@ import pytest
 
 def bench_trials(default: int = 20) -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", default))
+
+
+def bench_jobs(default: int | None = None) -> int:
+    """Worker count for parallel benches (``REPRO_BENCH_JOBS`` wins)."""
+    from repro.parallel import resolve_jobs
+
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env is not None:
+        return resolve_jobs(int(env))
+    return resolve_jobs(default)
 
 
 @pytest.fixture

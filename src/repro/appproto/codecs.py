@@ -169,31 +169,47 @@ class HttpCodec(_CompactControlMixin):
         DISCONNECT: "/bye",
     }
 
+    def _start_line(self, message: IoTMessage) -> str:
+        if message.kind in self._REQUEST_KINDS:
+            return f"POST {self._PATH_OF_KIND[message.kind]} HTTP/1.1"
+        return "HTTP/1.1 200 OK"
+
+    def _encode_padded(self, message: IoTMessage, pad_to: int | None) -> bytes:
+        """Frame with an exact total size when ``pad_to`` asks for one.
+
+        Total size is ``base + digits(n) + n`` for a body of ``n`` bytes,
+        which skips a value whenever ``n`` crosses a power of ten (999→1000
+        grows the frame by two).  Those gap sizes are reached by zero-padding
+        the Content-Length value, so every ``pad_to`` at or above the natural
+        frame size plus one digit of slack is hit exactly.
+        """
+        start = self._start_line(message)
+
+        def build(body_pad: int | None, cl_width: int = 0) -> bytes:
+            body = encode_body(message, pad_to=body_pad)
+            head = f"{start}\r\nContent-Length: {len(body):0{cl_width}d}\r\n\r\n"
+            return head.encode() + body
+
+        frame = build(None)
+        if pad_to is None or pad_to <= len(frame):
+            return frame
+        natural_body = len(encode_body(message))
+        base = len(frame) - len(str(natural_body)) - natural_body
+        # Largest body that still fits, then stretch the length field over
+        # whatever gap remains (zero is a no-op for ordinary sizes).
+        body_pad = pad_to - base - 1
+        while body_pad > natural_body and base + len(str(body_pad)) + body_pad > pad_to:
+            body_pad -= 1
+        cl_width = pad_to - base - body_pad
+        if body_pad < natural_body or cl_width < len(str(body_pad)):
+            return frame  # pad_to sits inside the framing overhead; best effort
+        return build(body_pad, cl_width)
+
     def encode(self, message: IoTMessage, pad_to: int | None = None) -> bytes:
         control = self.encode_control(message, pad_to)
         if control is not None:
             return control
-
-        def build(body_pad: int | None) -> bytes:
-            body = encode_body(message, pad_to=body_pad)
-            if message.kind in self._REQUEST_KINDS:
-                head = (
-                    f"POST {self._PATH_OF_KIND[message.kind]} HTTP/1.1\r\n"
-                    f"Content-Length: {len(body)}\r\n\r\n"
-                )
-            else:
-                head = f"HTTP/1.1 200 OK\r\nContent-Length: {len(body)}\r\n\r\n"
-            return head.encode() + body
-
-        frame = build(None)
-        if pad_to is not None and pad_to > len(frame):
-            body_pad = pad_to - (len(frame) - len(encode_body(message)))
-            for _ in range(3):
-                frame = build(body_pad)
-                if len(frame) == pad_to:
-                    break
-                body_pad -= len(frame) - pad_to
-        return frame
+        return self._encode_padded(message, pad_to)
 
     def decode(self, data: bytes) -> IoTMessage:
         control = self.decode_control(data)
@@ -215,24 +231,10 @@ class HapCodec(HttpCodec):
 
     name = "hap"
 
-    def encode(self, message: IoTMessage, pad_to: int | None = None) -> bytes:
-        if message.kind != EVENT:
-            return super().encode(message, pad_to)
-
-        def build(body_pad: int | None) -> bytes:
-            body = encode_body(message, pad_to=body_pad)
-            head = f"EVENT/1.0 200 OK\r\nContent-Length: {len(body)}\r\n\r\n"
-            return head.encode() + body
-
-        frame = build(None)
-        if pad_to is not None and pad_to > len(frame):
-            body_pad = pad_to - (len(frame) - len(encode_body(message)))
-            for _ in range(3):
-                frame = build(body_pad)
-                if len(frame) == pad_to:
-                    break
-                body_pad -= len(frame) - pad_to
-        return frame
+    def _start_line(self, message: IoTMessage) -> str:
+        if message.kind == EVENT:
+            return "EVENT/1.0 200 OK"
+        return super()._start_line(message)
 
 
 CODECS: dict[str, WireCodec] = {

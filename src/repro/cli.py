@@ -38,7 +38,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from .experiments.table1 import render_table1, run_table1
 
     labels = args.labels.split(",") if args.labels else None
-    rows = run_table1(labels=labels, trials=args.trials, seed=args.seed)
+    rows = run_table1(labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs)
     print(render_table1(rows))
     return 0 if all(r.matches_expectation() for r in rows) else 1
 
@@ -47,7 +47,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from .experiments.table2 import render_table2, run_table2
 
     labels = args.labels.split(",") if args.labels else None
-    rows = run_table2(labels=labels, trials=args.trials, seed=args.seed)
+    rows = run_table2(labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs)
     print(render_table2(rows))
     return 0 if all(r.matches_expectation for r in rows) else 1
 
@@ -55,7 +55,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 def _cmd_table3(args: argparse.Namespace) -> int:
     from .experiments.table3 import render_table3, run_table3
 
-    rows = run_table3(seed=args.seed)
+    rows = run_table3(seed=args.seed, jobs=args.jobs)
     print(render_table3(rows))
     return 0 if all(r.consequence_reproduced and r.stealthy for r in rows) else 1
 
@@ -63,7 +63,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 def _cmd_figure3(args: argparse.Namespace) -> int:
     from .experiments.table3 import render_table3, run_figure3
 
-    rows = run_figure3(seed=args.seed)
+    rows = run_figure3(seed=args.seed, jobs=args.jobs)
     print(render_table3(rows, title="Figure 3 — the four illustrated attacks"))
     return 0 if all(r.consequence_reproduced and r.stealthy for r in rows) else 1
 
@@ -71,7 +71,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .experiments.verification import render_verification, run_verification
 
-    rows = run_verification(trials=args.trials, seed=args.seed)
+    rows = run_verification(trials=args.trials, seed=args.seed, jobs=args.jobs)
     print(render_verification(rows))
     return 0 if all(r.success_rate == 1.0 for r in rows) else 1
 
@@ -104,9 +104,9 @@ def _cmd_countermeasures(args: argparse.Namespace) -> int:
 
     print(
         render_countermeasures(
-            run_ack_timeout_sweep(seed=args.seed),
-            run_keepalive_cost_curve(seed=args.seed),
-            run_timestamp_defense(seed=args.seed),
+            run_ack_timeout_sweep(seed=args.seed, jobs=args.jobs),
+            run_keepalive_cost_curve(seed=args.seed, jobs=args.jobs),
+            run_timestamp_defense(seed=args.seed, jobs=args.jobs),
             run_delay_detection(seed=args.seed),
             run_static_arp_defense(seed=args.seed),
             run_remediation_experiment(seed=args.seed),
@@ -276,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trials", type=int, default=3,
         help="measurement trials per message type (paper: 20)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for sharded campaigns (default: cpu count, "
+            "capped; 1 = serial; output is identical for every value)"
+        ),
     )
     parser.add_argument(
         "--labels", type=str, default=None,

@@ -342,13 +342,16 @@ class TimeoutProfiler:
     # --------------------------------------------------------------- helpers
 
     def _run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        # Batch-steps one simulated instant at a time (see
+        # repro.experiments._util.run_until): the predicate only changes
+        # when events fire, so per-event re-evaluation is pure overhead.
         deadline = self.sim.now + timeout
         while not predicate():
             nxt = self.sim.peek()
             if nxt is None or nxt > deadline:
                 self.sim.run_until(deadline)
                 return predicate()
-            self.sim.step()
+            self.sim.run_until(nxt)
         return True
 
     def _uplink_sizes_since(self, mark: float) -> list[int]:

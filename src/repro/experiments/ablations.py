@@ -22,6 +22,7 @@ from ..core.attacker import PhantomDelayAttacker
 from ..core.hijacker import TcpHijacker
 from ..core.predictor import TimeoutBehavior
 from ..devices.profiles import CATALOGUE
+from ..parallel import CampaignRunner, Shard
 from ..testbed import SmartHomeTestbed
 from ._util import run_until
 
@@ -46,43 +47,56 @@ class ForgedAckRow:
         return self.alarms == 0
 
 
-def run_forged_ack_ablation(seed: int = 71, hold_for: float = 25.0) -> list[ForgedAckRow]:
+def _forged_ack_case(forge: bool, hold_for: float, seed: int) -> ForgedAckRow:
+    """One shard: a 25 s event delay with or without ACK forging."""
+    tb = SmartHomeTestbed(seed=seed)
+    contact = tb.add_device("C2")
+    hub = tb.devices["h1"]
+    tb.settle(8.0)
+    attacker = PhantomDelayAttacker.deploy(tb)
+    if not forge:
+        attacker.hijacker = NoForgeHijacker(attacker.host)
+    attacker.interpose(hub.ip)
+    tb.run(35.0)
+    operation = attacker.delay_next_event(
+        hub.ip,
+        TimeoutBehavior.from_profile(hub.profile),
+        duration=hold_for,
+        trigger_size=contact.profile.event_size,
+        clamp=False,
+    )
+    alarms_before = tb.alarms.count()
+    contact.stimulate("open")
+    tb.run(hold_for + 40.0)
+    conns = hub.stack.connections()
+    retrans = sum(c.stats["retransmissions"] for c in conns)
+    return ForgedAckRow(
+        forge_acks=forge,
+        # A connection that died mid-ablation takes its counters
+        # with it; the session-loss count is the surviving proxy.
+        retransmissions=retrans if forge else max(retrans, _retrans_proxy(tb, hub)),
+        achieved_delay=operation.achieved_delay,
+        event_delivered=bool(tb.endpoints["smartthings"].events_from("c2")),
+        alarms=tb.alarms.count() - alarms_before,
+    )
+
+
+def run_forged_ack_ablation(
+    seed: int = 71, hold_for: float = 25.0, jobs: int | None = 1
+) -> list[ForgedAckRow]:
     """The same 25 s event delay with and without ACK forging."""
-    rows = []
-    for forge in (True, False):
-        tb = SmartHomeTestbed(seed=seed)
-        contact = tb.add_device("C2")
-        hub = tb.devices["h1"]
-        tb.settle(8.0)
-        attacker = PhantomDelayAttacker.deploy(tb)
-        if not forge:
-            attacker.hijacker = NoForgeHijacker(attacker.host)
-        attacker.interpose(hub.ip)
-        tb.run(35.0)
-        operation = attacker.delay_next_event(
-            hub.ip,
-            TimeoutBehavior.from_profile(hub.profile),
-            duration=hold_for,
-            trigger_size=contact.profile.event_size,
-            clamp=False,
-        )
-        alarms_before = tb.alarms.count()
-        contact.stimulate("open")
-        tb.run(hold_for + 40.0)
-        conns = hub.stack.connections()
-        retrans = sum(c.stats["retransmissions"] for c in conns)
-        rows.append(
-            ForgedAckRow(
-                forge_acks=forge,
-                # A connection that died mid-ablation takes its counters
-                # with it; the session-loss count is the surviving proxy.
-                retransmissions=retrans if forge else max(retrans, _retrans_proxy(tb, hub)),
-                achieved_delay=operation.achieved_delay,
-                event_delivered=bool(tb.endpoints["smartthings"].events_from("c2")),
-                alarms=tb.alarms.count() - alarms_before,
+    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="ablation-forged-ack")
+    return runner.run(
+        [
+            Shard(
+                key=f"forged-ack/{'on' if forge else 'off'}",
+                fn=_forged_ack_case,
+                kwargs={"forge": forge, "hold_for": hold_for},
+                seed=seed,
             )
-        )
-    return rows
+            for forge in (True, False)
+        ]
+    )
 
 
 def _retrans_proxy(tb: SmartHomeTestbed, hub) -> int:
@@ -98,46 +112,58 @@ class MarginRow:
     mean_achieved: float
 
 
+def _margin_case(margin: float, trials: int, seed: int) -> MarginRow:
+    """One shard: avoidance rate at a single release margin."""
+    avoided = 0
+    achieved: list[float] = []
+    tb = SmartHomeTestbed(seed=seed)
+    contact = tb.add_device("C2")
+    hub = tb.devices["h1"]
+    tb.settle(8.0)
+    attacker = PhantomDelayAttacker.deploy(tb, margin=margin)
+    attacker.interpose(hub.ip)
+    tb.run(40.0)
+    behavior = TimeoutBehavior.from_profile(hub.profile)
+    primitive = attacker.e_delay(hub.ip, behavior)
+    for _ in range(trials):
+        tb.run(5.0 + tb.sim.rng.random() * 30.0)
+        operation = primitive.arm(trigger_size=contact.profile.event_size)
+        contact.stimulate("open" if contact.attribute_value == "closed" else "closed")
+        run_until(tb.sim, lambda: operation.released_at is not None, 200.0)
+        tb.run(5.0)
+        mark = operation.triggered_at or 0.0
+        closes = attacker.hijacker.close_events_involving(hub.ip, since=mark)
+        if operation.stealthy and not closes:
+            avoided += 1
+        achieved.append(operation.achieved_delay or 0.0)
+        tb.run(30.0)
+    return MarginRow(
+        margin=margin,
+        trials=trials,
+        timeouts_avoided=avoided,
+        mean_achieved=sum(achieved) / len(achieved),
+    )
+
+
 def run_margin_sweep(
     margins: tuple[float, ...] = (0.0, 0.5, 2.0, 5.0, 10.0),
     trials: int = 4,
     seed: int = 73,
+    jobs: int | None = 1,
 ) -> list[MarginRow]:
     """Avoidance rate and achieved delay as the release margin varies."""
-    rows = []
-    for i, margin in enumerate(margins):
-        avoided = 0
-        achieved: list[float] = []
-        tb = SmartHomeTestbed(seed=seed + i)
-        contact = tb.add_device("C2")
-        hub = tb.devices["h1"]
-        tb.settle(8.0)
-        attacker = PhantomDelayAttacker.deploy(tb, margin=margin)
-        attacker.interpose(hub.ip)
-        tb.run(40.0)
-        behavior = TimeoutBehavior.from_profile(hub.profile)
-        primitive = attacker.e_delay(hub.ip, behavior)
-        for _ in range(trials):
-            tb.run(5.0 + tb.sim.rng.random() * 30.0)
-            operation = primitive.arm(trigger_size=contact.profile.event_size)
-            contact.stimulate("open" if contact.attribute_value == "closed" else "closed")
-            run_until(tb.sim, lambda: operation.released_at is not None, 200.0)
-            tb.run(5.0)
-            mark = operation.triggered_at or 0.0
-            closes = attacker.hijacker.close_events_involving(hub.ip, since=mark)
-            if operation.stealthy and not closes:
-                avoided += 1
-            achieved.append(operation.achieved_delay or 0.0)
-            tb.run(30.0)
-        rows.append(
-            MarginRow(
-                margin=margin,
-                trials=trials,
-                timeouts_avoided=avoided,
-                mean_achieved=sum(achieved) / len(achieved),
+    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="ablation-margin")
+    return runner.run(
+        [
+            Shard(
+                key=f"margin/{margin:g}",
+                fn=_margin_case,
+                kwargs={"margin": margin, "trials": trials},
+                seed=seed + i,
             )
-        )
-    return rows
+            for i, margin in enumerate(margins)
+        ]
+    )
 
 
 @dataclass

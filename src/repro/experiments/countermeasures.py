@@ -32,6 +32,7 @@ from ..countermeasures.ack_timeout import (
 )
 from ..countermeasures.timestamp_check import DelayAnomalyDetector
 from ..devices.profiles import CATALOGUE, Catalogue, TABLE_CLOUD
+from ..parallel import CampaignRunner, Shard
 from ..testbed import SmartHomeTestbed
 from ._util import run_until
 
@@ -53,43 +54,55 @@ class AckTimeoutRow:
     stealthy: bool
 
 
+def _ack_timeout_case(label: str, timeout: float | None, seed: int) -> AckTimeoutRow:
+    """One shard: the maximum-safe e-Delay against one hardened profile."""
+    base_profile = CATALOGUE.get(label, TABLE_CLOUD)
+    profile = (
+        base_profile
+        if timeout is None
+        else harden_profile(base_profile, event_ack_timeout=timeout)
+    )
+    catalogue = _catalogue_with(profile)
+    tb = SmartHomeTestbed(seed=seed, catalogue=catalogue)
+    device = tb.add_device(label)
+    tb.settle(8.0)
+    attacker = PhantomDelayAttacker.deploy(tb)
+    attacker.interpose(device.host.ip)  # type: ignore[attr-defined]
+    tb.run(35.0)
+    operation = attacker.delay_next_event(
+        device.host.ip,  # type: ignore[attr-defined]
+        TimeoutBehavior.from_profile(profile),
+    )
+    device.stimulate("armed-away")
+    run_until(tb.sim, lambda: operation.released_at is not None, 300.0)
+    tb.run(5.0)
+    return AckTimeoutRow(
+        ack_timeout=timeout,
+        predicted_window=profile.event_delay_window(),
+        achieved_delay=operation.achieved_delay,
+        stealthy=operation.stealthy and tb.alarms.silent,
+    )
+
+
 def run_ack_timeout_sweep(
     label: str = "HS1",
     timeouts: tuple[float | None, ...] = (None, 30.0, 20.0, 10.0, 5.0),
     seed: int = 41,
+    jobs: int | None = 1,
 ) -> list[AckTimeoutRow]:
     """Measured attack window against progressively hardened profiles."""
-    rows = []
-    for i, timeout in enumerate(timeouts):
-        base_profile = CATALOGUE.get(label, TABLE_CLOUD)
-        profile = (
-            base_profile
-            if timeout is None
-            else harden_profile(base_profile, event_ack_timeout=timeout)
-        )
-        catalogue = _catalogue_with(profile)
-        tb = SmartHomeTestbed(seed=seed + i, catalogue=catalogue)
-        device = tb.add_device(label)
-        tb.settle(8.0)
-        attacker = PhantomDelayAttacker.deploy(tb)
-        attacker.interpose(device.host.ip)  # type: ignore[attr-defined]
-        tb.run(35.0)
-        operation = attacker.delay_next_event(
-            device.host.ip,  # type: ignore[attr-defined]
-            TimeoutBehavior.from_profile(profile),
-        )
-        device.stimulate("armed-away")
-        run_until(tb.sim, lambda: operation.released_at is not None, 300.0)
-        tb.run(5.0)
-        rows.append(
-            AckTimeoutRow(
-                ack_timeout=timeout,
-                predicted_window=profile.event_delay_window(),
-                achieved_delay=operation.achieved_delay,
-                stealthy=operation.stealthy and tb.alarms.silent,
+    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="cm-ack-timeout")
+    return runner.run(
+        [
+            Shard(
+                key=f"ack-timeout/{label}/{'none' if timeout is None else f'{timeout:g}'}",
+                fn=_ack_timeout_case,
+                kwargs={"label": label, "timeout": timeout},
+                seed=seed + i,
             )
-        )
-    return rows
+            for i, timeout in enumerate(timeouts)
+        ]
+    )
 
 
 @dataclass
@@ -101,11 +114,26 @@ class TrafficRow:
     battery_days: float | None = None
 
 
+def _measure_ka_traffic(label: str, period: float, seed: int) -> float:
+    """One shard: measured idle bytes/hour at one keep-alive period."""
+    profile = CATALOGUE.get(label, TABLE_CLOUD)
+    hardened = harden_profile(profile, ka_period=period)
+    catalogue = _catalogue_with(hardened)
+    tb = SmartHomeTestbed(seed=seed, catalogue=catalogue)
+    tb.add_device(label)
+    tb.settle(10.0)
+    start_bytes = tb.lan.bytes_transmitted
+    window = 600.0
+    tb.run(window)
+    return (tb.lan.bytes_transmitted - start_bytes) * (3600.0 / window)
+
+
 def run_keepalive_cost_curve(
     label: str = "HS1",
     periods: tuple[float, ...] = (120.0, 60.0, 30.0, 10.0, 5.0, 2.0),
     measure_periods: tuple[float, ...] = (30.0, 2.0),
     seed: int = 43,
+    jobs: int | None = 1,
 ) -> list[TrafficRow]:
     """Window-vs-traffic trade-off for shortened keep-alive intervals."""
     profile = CATALOGUE.get(label, TABLE_CLOUD)
@@ -113,18 +141,20 @@ def run_keepalive_cost_curve(
         TrafficRow(period, window, rate, battery_days=battery_life_days(profile, period))
         for period, window, rate in sweep_keepalive_period(profile, list(periods))
     ]
-    for row in rows:
-        if row.ka_period not in measure_periods:
-            continue
-        hardened = harden_profile(profile, ka_period=row.ka_period)
-        catalogue = _catalogue_with(hardened)
-        tb = SmartHomeTestbed(seed=seed, catalogue=catalogue)
-        tb.add_device(label)
-        tb.settle(10.0)
-        start_bytes = tb.lan.bytes_transmitted
-        window = 600.0
-        tb.run(window)
-        rate = (tb.lan.bytes_transmitted - start_bytes) * (3600.0 / window)
+    to_measure = [row for row in rows if row.ka_period in measure_periods]
+    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="cm-keepalive-cost")
+    measured = runner.run(
+        [
+            Shard(
+                key=f"ka-traffic/{label}/{row.ka_period:g}",
+                fn=_measure_ka_traffic,
+                kwargs={"label": label, "period": row.ka_period},
+                seed=seed,
+            )
+            for row in to_measure
+        ]
+    )
+    for row, rate in zip(to_measure, measured):
         row.measured_bytes_per_hour = rate
     return rows
 
@@ -137,39 +167,31 @@ class TimestampDefenseRow:
     attack_succeeded: bool
 
 
-def run_timestamp_defense(seed: int = 47) -> list[TimestampDefenseRow]:
-    """Re-run three attack shapes with and without timestamp checking."""
-    rows: list[TimestampDefenseRow] = []
-
-    for window in (None, 10.0):
+def _timestamp_case(shape: str, window: float | None, seed: int) -> TimestampDefenseRow:
+    """One shard: one attack shape under one trigger-freshness window."""
+    if shape == "delayed-trigger":
         scenario = DelayedTriggerSpurious()
         scenario.trigger_timestamp_window = window
         result = run_scenario(scenario, attacked=True, seed=seed)
         fired = bool(result.metrics.get("heater_turned_on"))
-        rows.append(
-            TimestampDefenseRow(
-                attack="spurious via delayed trigger",
-                window=window,
-                outcome="action fired" if fired else "stale trigger refused",
-                attack_succeeded=fired,
-            )
+        return TimestampDefenseRow(
+            attack="spurious via delayed trigger",
+            window=window,
+            outcome="action fired" if fired else "stale trigger refused",
+            attack_succeeded=fired,
         )
-
-    for window in (None, 10.0):
+    if shape == "delayed-condition":
         scenario = Case8StormDoorUnlock()
         scenario.trigger_timestamp_window = window
         result = run_scenario(scenario, attacked=True, seed=seed)
         unlocked = bool(result.metrics.get("unlocked"))
-        rows.append(
-            TimestampDefenseRow(
-                attack="spurious via delayed condition (Case 8)",
-                window=window,
-                outcome="door unlocked for the burglar" if unlocked else "unlock prevented",
-                attack_succeeded=unlocked,
-            )
+        return TimestampDefenseRow(
+            attack="spurious via delayed condition (Case 8)",
+            window=window,
+            outcome="door unlocked for the burglar" if unlocked else "unlock prevented",
+            attack_succeeded=unlocked,
         )
-
-    for window in (None, 10.0):
+    if shape == "state-update":
         scenario = Case1FrontDoorVoiceAlert()
         scenario.trigger_timestamp_window = window
         result = run_scenario(scenario, attacked=True, seed=seed)
@@ -180,15 +202,31 @@ def run_timestamp_defense(seed: int = 47) -> list[TimestampDefenseRow]:
             outcome, success = f"alert {latency:.0f}s late", True
         else:
             outcome, success = "alert on time", False
-        rows.append(
-            TimestampDefenseRow(
-                attack="state-update delay (Case 1)",
-                window=window,
-                outcome=outcome,
-                attack_succeeded=success,
-            )
+        return TimestampDefenseRow(
+            attack="state-update delay (Case 1)",
+            window=window,
+            outcome=outcome,
+            attack_succeeded=success,
         )
-    return rows
+    raise ValueError(f"unknown timestamp-defence shape: {shape!r}")
+
+
+def run_timestamp_defense(seed: int = 47, jobs: int | None = 1) -> list[TimestampDefenseRow]:
+    """Re-run three attack shapes with and without timestamp checking."""
+    shapes = ("delayed-trigger", "delayed-condition", "state-update")
+    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="cm-timestamp")
+    return runner.run(
+        [
+            Shard(
+                key=f"timestamp/{shape}/{'off' if window is None else f'{window:g}'}",
+                fn=_timestamp_case,
+                kwargs={"shape": shape, "window": window},
+                seed=seed,
+            )
+            for shape in shapes
+            for window in (None, 10.0)
+        ]
+    )
 
 
 @dataclass

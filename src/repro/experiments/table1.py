@@ -16,6 +16,7 @@ from ..core.attacker import PhantomDelayAttacker
 from ..core.profiler import ProfileReport
 from ..devices.base import HubChildDevice, HubDevice, IoTDevice
 from ..devices.profiles import CATALOGUE, Catalogue, DeviceProfile, TABLE_CLOUD
+from ..parallel import CampaignRunner, Shard
 from ..testbed import SmartHomeTestbed
 
 
@@ -143,17 +144,36 @@ def run_table1(
     trials: int = 3,
     seed: int = 7,
     catalogue: Catalogue | None = None,
+    jobs: int | None = 1,
+    runner: CampaignRunner | None = None,
 ) -> list[MeasuredRow]:
-    """Profile every (requested) cloud device; defaults to the full table."""
+    """Profile every (requested) cloud device; defaults to the full table.
+
+    Each label is one shard; ``jobs`` (None = auto) fans them out across
+    worker processes.  Per-label seeds are fixed (``seed + index``) and
+    results merge in label order, so the rows — and the rendered table —
+    are identical for every ``jobs`` value.
+    """
     catalogue = catalogue or CATALOGUE
     if labels is None:
         labels = [p.label for p in catalogue.cloud_profiles()]
-    rows = []
-    for i, label in enumerate(labels):
-        rows.append(
-            profile_label(label, trials=trials, seed=seed + i, catalogue=catalogue)
+    shards = [
+        Shard(
+            key=f"table1/{label}",
+            fn=profile_label,
+            kwargs={
+                "label": label,
+                "trials": trials,
+                # The default catalogue is importable in every worker; only
+                # a caller-supplied one needs to travel with the shard.
+                "catalogue": None if catalogue is CATALOGUE else catalogue,
+            },
+            seed=seed + i,
         )
-    return rows
+        for i, label in enumerate(labels)
+    ]
+    runner = runner or CampaignRunner(jobs=jobs, base_seed=seed, campaign="table1")
+    return runner.run(shards)
 
 
 def render_table1(rows: list[MeasuredRow]) -> str:

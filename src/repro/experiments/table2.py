@@ -16,6 +16,7 @@ from ..analysis.reporting import TextTable, fmt_seconds, fmt_window
 from ..core.attacker import PhantomDelayAttacker
 from ..core.profiler import ProfileReport
 from ..devices.profiles import CATALOGUE, Catalogue, TABLE_LOCAL, DeviceProfile
+from ..parallel import CampaignRunner, Shard
 from ..testbed import SmartHomeTestbed
 from .table1 import make_event_trigger
 
@@ -75,14 +76,28 @@ def run_table2(
     trials: int = 2,
     seed: int = 11,
     catalogue: Catalogue | None = None,
+    jobs: int | None = 1,
+    runner: CampaignRunner | None = None,
 ) -> list[LocalMeasuredRow]:
+    """One shard per HomeKit label; seeds and row order match a serial run."""
     catalogue = catalogue or CATALOGUE
     if labels is None:
         labels = [p.label for p in catalogue.local_profiles()]
-    return [
-        profile_local_label(label, trials=trials, seed=seed + i, catalogue=catalogue)
+    shards = [
+        Shard(
+            key=f"table2/{label}",
+            fn=profile_local_label,
+            kwargs={
+                "label": label,
+                "trials": trials,
+                "catalogue": None if catalogue is CATALOGUE else catalogue,
+            },
+            seed=seed + i,
+        )
         for i, label in enumerate(labels)
     ]
+    runner = runner or CampaignRunner(jobs=jobs, base_seed=seed, campaign="table2")
+    return runner.run(shards)
 
 
 def render_table2(rows: list[LocalMeasuredRow]) -> str:

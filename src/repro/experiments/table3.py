@@ -13,6 +13,7 @@ from typing import Any
 from ..analysis.reporting import TextTable
 from ..core.attacks.base import Scenario, ScenarioResult, compare_scenario
 from ..core.attacks.scenarios import FIGURE3_SCENARIOS, TABLE3_SCENARIOS
+from ..parallel import CampaignRunner, Shard
 
 
 @dataclass
@@ -76,16 +77,35 @@ def _disabled_flag(metrics: dict[str, Any]) -> str:
     raise KeyError(f"no disabled flag in {metrics}")
 
 
-def run_table3(seed: int = 3, scenarios: list[Scenario] | None = None) -> list[CaseRow]:
-    rows = []
-    for scenario in scenarios or TABLE3_SCENARIOS:
-        baseline, attacked = compare_scenario(scenario, seed=seed)
-        rows.append(CaseRow(scenario=scenario, baseline=baseline, attacked=attacked))
-    return rows
+def _run_case(scenario: Scenario, seed: int) -> CaseRow:
+    """One shard: the with/without pair for a single PoC case."""
+    baseline, attacked = compare_scenario(scenario, seed=seed)
+    return CaseRow(scenario=scenario, baseline=baseline, attacked=attacked)
 
 
-def run_figure3(seed: int = 3) -> list[CaseRow]:
-    return run_table3(seed=seed, scenarios=FIGURE3_SCENARIOS)
+def run_table3(
+    seed: int = 3,
+    scenarios: list[Scenario] | None = None,
+    jobs: int | None = 1,
+    runner: CampaignRunner | None = None,
+) -> list[CaseRow]:
+    """One shard per case; every case keeps the campaign seed, as before."""
+    cases = list(scenarios or TABLE3_SCENARIOS)
+    shards = [
+        Shard(
+            key=f"table3/{scenario.case_id or scenario.name}",
+            fn=_run_case,
+            kwargs={"scenario": scenario},
+            seed=seed,
+        )
+        for scenario in cases
+    ]
+    runner = runner or CampaignRunner(jobs=jobs, base_seed=seed, campaign="table3")
+    return runner.run(shards)
+
+
+def run_figure3(seed: int = 3, jobs: int | None = 1) -> list[CaseRow]:
+    return run_table3(seed=seed, scenarios=FIGURE3_SCENARIOS, jobs=jobs)
 
 
 def _headline(metrics: dict[str, Any]) -> str:

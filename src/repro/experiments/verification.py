@@ -20,6 +20,7 @@ from ..analysis.reporting import TextTable
 from ..core.attacker import PhantomDelayAttacker
 from ..core.predictor import TimeoutBehavior
 from ..devices.profiles import CATALOGUE, Catalogue, TABLE_CLOUD
+from ..parallel import CampaignRunner, Shard
 from ..testbed import SmartHomeTestbed
 from ._util import run_until, uplink_ip_of
 from .table1 import make_event_trigger
@@ -117,11 +118,19 @@ def run_verification(
     trials: int = 5,
     seed: int = 31,
     catalogue: Catalogue | None = None,
+    jobs: int | None = 1,
 ) -> list[VerificationRow]:
-    return [
-        verify_device(label, trials=trials, seed=seed + i, catalogue=catalogue)
+    shards = [
+        Shard(
+            key=f"verification/{label}",
+            fn=verify_device,
+            kwargs={"label": label, "trials": trials, "catalogue": catalogue},
+            seed=seed + i,
+        )
         for i, label in enumerate(labels)
     ]
+    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="verification")
+    return runner.run(shards)
 
 
 def render_verification(rows: list[VerificationRow]) -> str:

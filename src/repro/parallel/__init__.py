@@ -1,0 +1,23 @@
+"""Parallel campaign execution: shard-per-device fan-out over processes.
+
+Public surface:
+
+* :func:`derive_seed` — stable per-shard seed derivation;
+* :class:`Shard` — one independent simulation of a campaign;
+* :class:`CampaignRunner` — ordered, deterministic fan-out/merge;
+* :func:`resolve_jobs` / :func:`fork_available` — worker-count policy.
+
+See ``docs/API.md`` for the determinism guarantee and usage examples.
+"""
+
+from .runner import JOBS_CAP, CampaignRunner, Shard, fork_available, resolve_jobs
+from .seeds import derive_seed
+
+__all__ = [
+    "JOBS_CAP",
+    "CampaignRunner",
+    "Shard",
+    "derive_seed",
+    "fork_available",
+    "resolve_jobs",
+]

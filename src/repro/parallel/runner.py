@@ -1,0 +1,217 @@
+"""Sharded campaign execution over a process pool.
+
+The paper's evaluation is embarrassingly parallel: 36 cloud profiles,
+14 local profiles, 11 PoC cases, and every ablation/countermeasure sweep
+are independent simulations that only meet again at the output table.
+:class:`CampaignRunner` fans those shards out across a
+``ProcessPoolExecutor`` and merges results back **in submission order**, so
+a parallel campaign renders byte-identically to a serial one.
+
+Determinism rules:
+
+* every shard carries its own seed — either set explicitly by the driver
+  or derived as :func:`~repro.parallel.seeds.derive_seed`\\ ``(base_seed,
+  shard.key)`` — never anything positional or temporal;
+* results are merged by shard index, not completion order;
+* shard functions are pure (fresh testbed in, plain rows out), so running
+  them in another process cannot observe different state.
+
+Execution falls back to plain in-process loops when ``jobs`` resolves
+to 1, when there is only one shard, or when the platform cannot fork
+(fork is what makes the warm parent image — ~130 imported modules —
+free to replicate; a spawn pool would re-import the world per worker).
+A shard whose future fails for infrastructure reasons (broken pool,
+unpicklable result) is transparently re-run in-process; genuine errors
+re-raise there with their original traceback.
+
+Progress is surfaced through a :class:`~repro.obs.metrics.MetricsRegistry`
+(the ``parallel`` component): shard counts, in-flight gauge, and a
+per-shard wall-time histogram, so ``CampaignRunner.render_progress()``
+drops straight into the existing observability tooling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from .seeds import derive_seed
+
+#: ``--jobs`` defaults to the CPU count but never above this: the shards
+#: are CPU-bound simulations, and a wall of workers on a big host mostly
+#: buys scheduler contention.
+JOBS_CAP = 8
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of a campaign (usually: one device / one case).
+
+    ``fn`` must be a module-level callable (workers import it by qualified
+    name) and ``kwargs`` picklable.  When ``pass_seed`` is true the runner
+    injects ``seed=`` — the explicit ``seed`` if given, else
+    ``derive_seed(base_seed, key)``.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    pass_seed: bool = True
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Worker count for a campaign: explicit, else ``REPRO_JOBS``, else
+    ``os.cpu_count()`` capped at :data:`JOBS_CAP`."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            jobs = int(env)
+        else:
+            jobs = min(os.cpu_count() or 1, JOBS_CAP)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    return jobs
+
+
+def fork_available() -> bool:
+    """True when the platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _warm_up() -> None:
+    """Worker initializer: touch the heavy experiment stack once per worker.
+
+    With fork these imports are already resolved in the parent image, so
+    the call costs nothing; it exists so every worker pays any residual
+    first-use cost (codec tables, catalogue construction) once instead of
+    inside its first shard's timing.
+    """
+    import repro.experiments.table1  # noqa: F401
+    import repro.experiments.table2  # noqa: F401
+    import repro.experiments.table3  # noqa: F401
+    import repro.testbed  # noqa: F401
+
+
+def _run_shard(shard: Shard, base_seed: int) -> tuple[Any, float]:
+    """Execute one shard (worker side); returns (result, wall seconds)."""
+    kwargs = shard.kwargs
+    if shard.pass_seed:
+        kwargs = dict(kwargs)
+        kwargs["seed"] = (
+            shard.seed if shard.seed is not None else derive_seed(base_seed, shard.key)
+        )
+    start = time.perf_counter()
+    result = shard.fn(**kwargs)
+    return result, time.perf_counter() - start
+
+
+class CampaignRunner:
+    """Runs a list of :class:`Shard`\\ s and returns results in shard order.
+
+    One runner is one campaign: it owns the worker-count decision, the
+    base seed for derived shard seeds, and the progress metrics.  Reuse
+    across campaigns is fine — metrics accumulate per ``campaign`` label.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        base_seed: int = 0,
+        registry: MetricsRegistry | None = None,
+        campaign: str = "campaign",
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.base_seed = base_seed
+        self.campaign = campaign
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.last_wall_seconds = 0.0
+        self._total = self.registry.counter("parallel", "shards_total", campaign=campaign)
+        self._completed = self.registry.counter(
+            "parallel", "shards_completed", campaign=campaign
+        )
+        self._failed = self.registry.counter("parallel", "shard_failures", campaign=campaign)
+        self._inproc = self.registry.counter(
+            "parallel", "shards_run_inprocess", campaign=campaign
+        )
+        self._in_flight = self.registry.gauge("parallel", "shards_in_flight", campaign=campaign)
+        self._shard_seconds = self.registry.histogram(
+            "parallel", "shard_seconds", campaign=campaign
+        )
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, shards: Sequence[Shard]) -> list[Any]:
+        """Execute every shard; results come back in ``shards`` order."""
+        shards = list(shards)
+        self._total.inc(len(shards))
+        start = time.perf_counter()
+        try:
+            if not shards:
+                return []
+            workers = min(self.jobs, len(shards))
+            if workers <= 1 or not fork_available():
+                return [self._run_inprocess(shard) for shard in shards]
+            return self._run_pool(shards, workers)
+        finally:
+            self.last_wall_seconds = time.perf_counter() - start
+
+    def _run_inprocess(self, shard: Shard) -> Any:
+        result, elapsed = _run_shard(shard, self.base_seed)
+        self._inproc.inc()
+        self._completed.inc()
+        self._shard_seconds.observe(elapsed)
+        return result
+
+    def _run_pool(self, shards: list[Shard], workers: int) -> list[Any]:
+        results: list[Any] = [None] * len(shards)
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx, initializer=_warm_up
+        ) as pool:
+            futures = {}
+            for index, shard in enumerate(shards):
+                futures[pool.submit(_run_shard, shard, self.base_seed)] = index
+                self._in_flight.inc()
+            for future in as_completed(futures):
+                index = futures[future]
+                self._in_flight.dec()
+                try:
+                    result, elapsed = future.result()
+                except Exception:
+                    # Infrastructure failure (broken pool, unpicklable
+                    # result, worker OOM-kill): the shard itself is pure,
+                    # so replaying it in-process either heals the run or
+                    # re-raises the shard's genuine error with a usable
+                    # traceback.
+                    self._failed.inc()
+                    result = self._run_inprocess(shards[index])
+                    results[index] = result
+                    continue
+                self._completed.inc()
+                self._shard_seconds.observe(elapsed)
+                results[index] = result
+        return results
+
+    # ------------------------------------------------------------- progress
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    def render_progress(self) -> str:
+        """The campaign's slice of the metrics table (for CLI/debug use)."""
+        return self.registry.render_table(component="parallel")
+
+    def summary(self) -> str:
+        """One-line account of the last ``run()`` for log output."""
+        return (
+            f"{self.campaign}: {self.completed} shard(s) via "
+            f"{min(self.jobs, max(self.completed, 1))} worker(s) in "
+            f"{self.last_wall_seconds:.2f}s wall"
+        )

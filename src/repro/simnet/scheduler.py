@@ -13,7 +13,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, TYPE_CHECKING
 
 from ..obs.observer import Observability
@@ -22,12 +21,12 @@ from .clock import Clock
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.observer import SimObserver
 
-
-@dataclass(order=True)
-class _Entry:
-    when: float
-    seq: int
-    timer: "Timer" = field(compare=False)
+# Heap nodes are plain ``(when, seq, timer)`` tuples: ``seq`` is unique per
+# simulator, so comparisons are settled by the first two fields and the
+# timer is never compared.  Tuple comparison is implemented in C, which is
+# what makes this the cheapest possible node for the hot loop (a dataclass
+# with ``order=True`` builds a fresh tuple per rich comparison).
+_HeapNode = "tuple[float, int, Timer]"
 
 
 class Timer:
@@ -84,11 +83,11 @@ class Simulator:
     def __init__(self, seed: int = 0, observer: "SimObserver | None" = None) -> None:
         self.clock = Clock()
         self.rng = random.Random(seed)
-        self._queue: list[_Entry] = []
+        self._queue: list[tuple[float, int, Timer]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._max_events = 50_000_000  # runaway-loop backstop
-        self._tally_after = self._max_events - self.BUDGET_TALLY_WINDOW
+        self._tally_after = max(0, self._max_events - self.BUDGET_TALLY_WINDOW)
         self._label_fires: dict[str, int] = {}
         #: Scheduler profiling hook; None keeps the hot loop branch-cheap.
         self._observer = observer
@@ -109,8 +108,14 @@ class Simulator:
 
     @max_events.setter
     def max_events(self, budget: int) -> None:
+        if budget <= 0:
+            raise ValueError(f"event budget must be positive: {budget}")
         self._max_events = budget
-        self._tally_after = budget - self.BUDGET_TALLY_WINDOW
+        # A budget below the tally window must not go negative: that would
+        # re-enable tallying for events already processed and, worse, keep
+        # the "near budget" branch permanently hot.  Clamping to zero means
+        # small budgets simply tally from the first event.
+        self._tally_after = max(0, budget - self.BUDGET_TALLY_WINDOW)
 
     def set_observer(self, observer: "SimObserver | None") -> None:
         """Install (or remove) the scheduler profiling observer."""
@@ -153,7 +158,7 @@ class Simulator:
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         timer = Timer(when, callback, args, label=label, created_at=self.now)
-        heapq.heappush(self._queue, _Entry(when, next(self._seq), timer))
+        heapq.heappush(self._queue, (when, next(self._seq), timer))
         if self._observer is not None:
             self._observer.timer_scheduled(timer, self.now)
         return timer
@@ -164,24 +169,29 @@ class Simulator:
 
     def peek(self) -> float | None:
         """Time of the next pending event, or None when the queue is drained."""
-        while self._queue and not self._queue[0].timer.active:
-            heapq.heappop(self._queue)
-        return self._queue[0].when if self._queue else None
+        queue = self._queue
+        while queue:
+            timer = queue[0][2]
+            if timer._cancelled or timer._fired:
+                heapq.heappop(queue)
+            else:
+                return queue[0][0]
+        return None
 
     def step(self) -> bool:
         """Run the single next event.  Returns False when nothing is pending."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            timer = entry.timer
-            if not timer.active:
+        queue = self._queue
+        while queue:
+            when, _seq, timer = heapq.heappop(queue)
+            if timer._cancelled or timer._fired:
                 continue
-            self.clock.advance_to(entry.when)
+            self.clock.advance_to(when)
             timer._fired = True
             self._events_processed += 1
             if self._events_processed > self._tally_after:
                 self._tally_near_budget(timer.label)
             if self._observer is not None:
-                self._observer.timer_fired(timer, self.clock.now, len(self._queue))
+                self._observer.timer_fired(timer, when, len(queue))
             timer.callback(*timer.args)
             return True
         return False
@@ -209,13 +219,37 @@ class Simulator:
 
         Events scheduled exactly at ``deadline`` are executed; the clock never
         moves past ``deadline`` even if the queue holds later events.
+
+        This is the simulator's hot loop: pop, advance, and fire are fused
+        into one heap scan (``peek()`` followed by ``step()`` would walk past
+        cancelled timers twice), and the queue/clock/heappop lookups are
+        hoisted out of the loop.  ``self._observer`` is deliberately re-read
+        each iteration so a callback installing a profiler mid-run takes
+        effect immediately.
         """
-        while True:
-            nxt = self.peek()
-            if nxt is None or nxt > deadline:
+        queue = self._queue
+        clock = self.clock
+        advance = clock.advance_to
+        pop = heapq.heappop
+        tally_after = self._tally_after
+        while queue:
+            when = queue[0][0]
+            if when > deadline:
                 break
-            self.step()
-        self.clock.advance_to(max(self.clock.now, deadline))
+            timer = pop(queue)[2]
+            if timer._cancelled or timer._fired:
+                continue
+            advance(when)
+            timer._fired = True
+            self._events_processed += 1
+            if self._events_processed > tally_after:
+                self._tally_near_budget(timer.label)
+            observer = self._observer
+            if observer is not None:
+                observer.timer_fired(timer, when, len(queue))
+            timer.callback(*timer.args)
+        if deadline > clock.now:
+            advance(deadline)
 
     def run(self, for_duration: float | None = None) -> None:
         """Run for ``for_duration`` seconds, or drain the queue when None."""

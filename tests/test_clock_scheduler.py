@@ -156,6 +156,128 @@ class TestRunSemantics:
         assert sim.events_processed == 5
 
 
+class TestHotLoop:
+    """Regression guards for the tuple-heap-node fused ``run_until`` loop."""
+
+    def test_heap_nodes_are_plain_tuples(self, sim):
+        # The hot loop relies on C-level tuple comparison; a dataclass node
+        # regresses events/sec by ~2x (see benchmarks/bench_scheduler.py).
+        sim.schedule(1.0, lambda: None)
+        node = sim._queue[0]
+        assert type(node) is tuple
+        when, seq, timer = node
+        assert (when, seq) == (1.0, 0)
+        assert timer.active
+
+    def test_run_until_ties_break_by_insertion_order(self, sim):
+        order = []
+        for i in range(8):
+            sim.at(2.0, order.append, i)
+        sim.run_until(2.0)
+        assert order == list(range(8))
+
+    def test_run_until_skips_timer_cancelled_midway(self, sim):
+        fired = []
+        victim = sim.at(2.0, fired.append, "victim")
+        sim.at(1.0, victim.cancel)
+        sim.at(3.0, fired.append, "survivor")
+        sim.run_until(5.0)
+        assert fired == ["survivor"]
+        assert sim.events_processed == 2  # canceller + survivor, not victim
+
+    def test_run_until_skips_timer_cancelled_same_instant(self, sim):
+        # Cancellation by an earlier-seq event at the same timestamp: the
+        # fused loop must check the flag after the pop, not at peek time.
+        fired = []
+        victim = sim.at(1.0, fired.append, "victim")
+        # Scheduled later, but call_soon at t=1.0 runs... no: same instant,
+        # later seq runs after.  Cancel from an event at an earlier time.
+        canceller = sim.at(1.0, victim.cancel)
+        assert canceller.when == victim.when and fired == []
+        sim.run_until(1.0)
+        # victim was inserted first, so it fires before the canceller runs.
+        assert fired == ["victim"]
+        # Reverse order: canceller inserted first wins.
+        fired2 = []
+        victim2 = None
+
+        def cancel_victim2():
+            victim2.cancel()
+
+        sim.at(2.0, cancel_victim2)
+        victim2 = sim.at(2.0, fired2.append, "victim2")
+        sim.run_until(2.0)
+        assert fired2 == []
+
+    def test_run_until_deadline_exact(self, sim):
+        fired = []
+        sim.at(5.0, fired.append, "at-deadline")
+        sim.at(5.000001, fired.append, "after-deadline")
+        sim.run_until(5.0)
+        assert fired == ["at-deadline"]
+        assert sim.now == 5.0
+        sim.run_until(6.0)
+        assert fired == ["at-deadline", "after-deadline"]
+
+    def test_run_until_advances_clock_with_empty_queue(self, sim):
+        sim.run_until(7.5)
+        assert sim.now == 7.5
+
+    def test_run_until_past_deadline_is_noop(self, sim):
+        sim.run_until(5.0)
+        sim.run_until(3.0)  # never moves the clock backwards
+        assert sim.now == 5.0
+
+    def test_observer_installed_mid_run_takes_effect(self, sim):
+        seen = []
+
+        class Probe:
+            def timer_scheduled(self, timer, now):
+                pass
+
+            def timer_fired(self, timer, now, queue_depth):
+                seen.append((timer.label, now))
+
+        sim.schedule(1.0, lambda: sim.set_observer(Probe()), label="installer")
+        sim.schedule(2.0, lambda: None, label="observed")
+        sim.run_until(3.0)
+        assert seen == [("observed", 2.0)]
+
+
+class TestEventBudget:
+    def test_small_budget_clamps_tally_window(self, sim):
+        # Budgets below BUDGET_TALLY_WINDOW used to make _tally_after
+        # negative, which kept the tally branch permanently hot.
+        sim.max_events = 10
+        assert sim.max_events == 10
+        assert sim._tally_after == 0
+
+    def test_budget_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            sim.max_events = 0
+        with pytest.raises(ValueError):
+            sim.max_events = -5
+
+    def test_exceeding_small_budget_names_hot_timer(self, sim):
+        sim.max_events = 5
+
+        def respawn():
+            sim.schedule(1.0, respawn, label="runaway-ka")
+
+        sim.schedule(1.0, respawn, label="runaway-ka")
+        with pytest.raises(RuntimeError, match="runaway-ka") as err:
+            sim.run(100.0)
+        # The reported tally window is the budget, not the full 100k default.
+        assert "last 5 events" in str(err.value)
+
+    def test_budget_not_exceeded_when_equal(self, sim):
+        sim.max_events = 3
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(10.0)
+        assert sim.events_processed == 3
+
+
 class TestDeterminism:
     def test_same_seed_same_rng_stream(self):
         a = Simulator(seed=9)
