@@ -116,9 +116,12 @@ class AutomationEngine:
                 ).inc()
             return []
         fired: list[RuleFiring] = []
+        inv = self.sim.invariants
         for rule in self.rules:
             if not rule.trigger.matches(device_id, event_name):
                 continue
+            if inv is not None:
+                inv.on_rule_fired(rule.rule_id, device_id, event_name)
             fired.append(self._evaluate(rule, event_name))
         return fired
 

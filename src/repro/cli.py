@@ -52,20 +52,59 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0 if all(r.matches_expectation for r in rows) else 1
 
 
+def _table3_faults_summary(rows) -> str | None:
+    """One status line when the run was impaired + invariant-audited."""
+    if not any(r.attacked.fault_stats for r in rows):
+        return None
+    violations = sum(
+        len(r.baseline.invariant_violations or [])
+        + len(r.attacked.invariant_violations or [])
+        for r in rows
+    )
+    dropped = sum(
+        sum(v for k, v in (r.attacked.fault_stats or {}).items() if k.startswith("dropped"))
+        for r in rows
+    )
+    return (
+        f"fault injection: {dropped} frames dropped across attacked runs; "
+        f"invariant violations: {violations}"
+    )
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     from .experiments.table3 import render_table3, run_table3
 
-    rows = run_table3(seed=args.seed, jobs=args.jobs)
+    faults = getattr(args, "faults", None)
+    rows = run_table3(
+        seed=args.seed, jobs=args.jobs, faults=faults, check_invariants=bool(faults)
+    )
     print(render_table3(rows))
+    summary = _table3_faults_summary(rows)
+    if summary:
+        print(summary)
     return 0 if all(r.consequence_reproduced and r.stealthy for r in rows) else 1
 
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
     from .experiments.table3 import render_table3, run_figure3
 
-    rows = run_figure3(seed=args.seed, jobs=args.jobs)
+    faults = getattr(args, "faults", None)
+    rows = run_figure3(
+        seed=args.seed, jobs=args.jobs, faults=faults, check_invariants=bool(faults)
+    )
     print(render_table3(rows, title="Figure 3 — the four illustrated attacks"))
+    summary = _table3_faults_summary(rows)
+    if summary:
+        print(summary)
     return 0 if all(r.consequence_reproduced and r.stealthy for r in rows) else 1
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .experiments.robustness import render_robustness, run_robustness
+
+    rows = run_robustness(seed=args.seed, jobs=args.jobs)
+    print(render_robustness(rows))
+    return 0 if all(r.success and r.violations == 0 for r in rows) else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -288,6 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--labels", type=str, default=None,
         help="comma-separated device labels (table1/table2 only)",
     )
+    parser.add_argument(
+        "--faults", type=str, default=None, metavar="PROFILE",
+        help=(
+            "run the LAN impaired and audit every invariant: a named "
+            "profile (ideal/lossy/bursty/jittery/chaotic) or a spec like "
+            "'loss=0.05,jitter=0.01' (table3/figure3 only)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, doc in (
         ("catalogue", _cmd_catalogue, "list the 50-device catalogue"),
@@ -304,6 +351,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("export-knowledge", _cmd_export_knowledge,
          "dump the device-behaviour knowledge base as JSON (--labels sets the path)"),
         ("jamming", _cmd_jamming, "phantom delay vs packet discarding (extension)"),
+        ("robustness", _cmd_robustness,
+         "attack success over a loss x jitter grid with invariants audited"),
         ("all", _cmd_all, "run every experiment"),
     ):
         p = sub.add_parser(name, help=doc)

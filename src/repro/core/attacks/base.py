@@ -38,6 +38,11 @@ class ScenarioResult:
     notifications: list[tuple[float, str]] = field(default_factory=list)
     #: Observability facade of the run (None unless run with ``observe``).
     obs: Any = None
+    #: Invariant violations observed (None unless run with
+    #: ``check_invariants``; an empty list means every invariant held).
+    invariant_violations: list[Any] | None = None
+    #: Fault-injector stats of the run (None on the ideal link).
+    fault_stats: dict[str, int] | None = None
 
     @property
     def stealthy(self) -> bool:
@@ -63,6 +68,12 @@ class Scenario:
     integration_staleness: float | None = None
     #: Section VII-B timestamp checking, when a run evaluates the defence.
     trigger_timestamp_window: float | None = None
+    #: Safety margin the attacker budgets between the predicted timeout and
+    #: the release instant.  Per-scenario because the attacker tunes it to
+    #: the target: a tight post-release deadline (e.g. a server-side command
+    #: ack window) needs extra slack for TCP repair on a lossy LAN, while a
+    #: hold that must exceed some fixed window needs the margin small.
+    attack_margin = 2.0
 
     # ------------------------------------------------------------- hooks
 
@@ -112,22 +123,29 @@ def run_scenario(
     attacked: bool,
     seed: int = 0,
     observe: bool = False,
+    faults: Any = None,
+    check_invariants: bool = False,
 ) -> ScenarioResult:
     """Execute one scenario run and collect its result.
 
     With ``observe`` the testbed records metrics and causal spans; the
-    result's ``obs`` field exposes them for post-run attribution.
+    result's ``obs`` field exposes them for post-run attribution.  With
+    ``faults`` (a :class:`~repro.faults.FaultProfile` or spec string) the
+    LAN runs impaired; with ``check_invariants`` the cross-layer
+    :class:`~repro.faults.InvariantSuite` audits the whole run.
     """
     tb = SmartHomeTestbed(
         seed=seed,
         integration_staleness=scenario.integration_staleness,
         trigger_timestamp_window=scenario.trigger_timestamp_window,
         observe=observe,
+        faults=faults,
+        check_invariants=check_invariants,
     )
     ctx = scenario.build(tb)
     tb.settle(scenario.settle)
     if attacked:
-        attacker = PhantomDelayAttacker.deploy(tb)
+        attacker = PhantomDelayAttacker.deploy(tb, margin=scenario.attack_margin)
         ctx["attacker"] = attacker
         scenario.attack(tb, ctx, attacker)
     tb.run(scenario.observe)
@@ -147,13 +165,41 @@ def run_scenario(
             if n.delivered_at is not None
         ],
         obs=tb.obs if observe else None,
+        invariant_violations=(
+            list(tb.invariants.violations) if tb.invariants is not None else None
+        ),
+        fault_stats=(
+            dict(tb.fault_injector.stats) if tb.fault_injector is not None else None
+        ),
     )
 
 
 def compare_scenario(
-    scenario: Scenario, seed: int = 0, observe: bool = False
+    scenario: Scenario,
+    seed: int = 0,
+    observe: bool = False,
+    faults: Any = None,
+    check_invariants: bool = False,
 ) -> tuple[ScenarioResult, ScenarioResult]:
-    """Run the same scenario without and with the attack."""
-    baseline = run_scenario(scenario, attacked=False, seed=seed, observe=observe)
-    attacked = run_scenario(scenario, attacked=True, seed=seed, observe=observe)
+    """Run the same scenario without and with the attack.
+
+    Faults and invariant checking apply to *both* runs, so the comparison
+    stays fair: the baseline fights the same network the attack does.
+    """
+    baseline = run_scenario(
+        scenario,
+        attacked=False,
+        seed=seed,
+        observe=observe,
+        faults=faults,
+        check_invariants=check_invariants,
+    )
+    attacked = run_scenario(
+        scenario,
+        attacked=True,
+        seed=seed,
+        observe=observe,
+        faults=faults,
+        check_invariants=check_invariants,
+    )
     return baseline, attacked

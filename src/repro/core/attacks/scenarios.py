@@ -146,6 +146,11 @@ class Case3DoorCloseAutoLock(Scenario):
     description = "Front door closed -> lock the door"
     rule_source = "[12]"
     duration = 120.0
+    #: The August server expects the lock's command ack ~27 s after sending;
+    #: the ack leaves *after* release, so on a lossy LAN it may need a full
+    #: sender-RTO repair (1 s+) that the attacker cannot shepherd.  Budget
+    #: the round trip: a 3.5 s margin still yields a >20 s phantom delay.
+    attack_margin = 3.5
 
     def build(self, tb: SmartHomeTestbed) -> dict[str, Any]:
         contact = tb.add_device("C2")

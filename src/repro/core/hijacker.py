@@ -34,7 +34,7 @@ from typing import Callable, TYPE_CHECKING
 from ..simnet.host import Host
 from ..simnet.packet import EthernetFrame, IpPacket
 from ..simnet.trace import FlowKey
-from ..tcp.segment import TcpSegment, seq_add
+from ..tcp.segment import TcpSegment, seq_add, seq_leq, seq_lt
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simnet.scheduler import Simulator
@@ -130,11 +130,16 @@ class _FlowTracker:
     def __init__(self, key: FlowKey) -> None:
         self.key = key
         self.nxt: dict[str, int] = {}  # sender ip -> next seq it will use
+        self.acked: dict[str, int] = {}  # acker ip -> highest ack it sent
         self.first_seen: float | None = None
         self.closed = False
 
     def observe(self, sender_ip: str, segment: TcpSegment) -> None:
         self.nxt[sender_ip] = seq_add(segment.seq, segment.seq_space)
+        if segment.ack_flag:
+            prior = self.acked.get(sender_ip)
+            if prior is None or seq_lt(prior, segment.ack):
+                self.acked[sender_ip] = segment.ack
 
 
 class TcpHijacker:
@@ -152,7 +157,13 @@ class TcpHijacker:
         #: for the uplink this is the last instant the server heard the
         #: device, the anchor of the liveness-timeout prediction.
         self.last_payload_forwarded: dict[tuple[str, str], float] = {}
-        self.stats = {"forwarded": 0, "held": 0, "forged_acks": 0, "released": 0}
+        self.stats = {
+            "forwarded": 0,
+            "held": 0,
+            "forged_acks": 0,
+            "released": 0,
+            "forward_retries": 0,
+        }
 
     # ------------------------------------------------------------- hold API
 
@@ -212,6 +223,10 @@ class TcpHijacker:
                     held_count=hold.held_count,
                     forged_acks=hold.forged_acks,
                 )
+        inv = self.sim.invariants
+        if inv is not None and hold.queue:
+            flow = hold.flow.label() if hold.flow is not None else hold.label
+            inv.on_hold_release(flow, [held.ts for held in hold.queue])
         for held in hold.queue:
             self._forward(held.packet)
 
@@ -348,12 +363,52 @@ class TcpHijacker:
             self.sim.obs.registry.counter("attack", "forged_acks").inc()
         self.host.send_ip(IpPacket(src_ip=packet.dst_ip, dst_ip=packet.src_ip, payload=ack))
 
+    #: Shepherded forwarding: the attacker's interposition adds a second
+    #: lossy LAN crossing to every packet, and forged ACKs convince senders
+    #: their held data arrived — so neither endpoint can be relied on to
+    #: repair a drop on the attacker->receiver hop.  A competent MITM relay
+    #: therefore re-forwards any data segment whose genuine cumulative ACK
+    #: it has not observed, on a timer much shorter than the endpoints' RTO.
+    FORWARD_RETRY_INTERVAL = 0.5
+    FORWARD_MAX_RETRIES = 4
+
     def _forward(self, packet: IpPacket) -> None:
         self.stats["forwarded"] += 1
         segment = packet.payload
         if isinstance(segment, TcpSegment) and segment.payload_size > 0:
             self.last_payload_forwarded[(packet.src_ip, packet.dst_ip)] = self.sim.now
+            self.sim.schedule(
+                self.FORWARD_RETRY_INTERVAL,
+                self._check_forward,
+                self._flow_key(packet, segment),
+                seq_add(segment.seq, segment.seq_space),
+                packet,
+                0,
+                label="hijack-shepherd",
+            )
         self.host.send_ip(packet)
+
+    def _check_forward(
+        self, flow: FlowKey, end_seq: int, packet: IpPacket, tries: int
+    ) -> None:
+        tracker = self.flows.get(flow)
+        if tracker is not None:
+            acked = tracker.acked.get(packet.dst_ip)
+            if acked is not None and seq_leq(end_seq, acked):
+                return  # the receiver's own ACK covered it
+        if tries >= self.FORWARD_MAX_RETRIES:
+            return
+        self.stats["forward_retries"] += 1
+        self.host.send_ip(packet)
+        self.sim.schedule(
+            self.FORWARD_RETRY_INTERVAL,
+            self._check_forward,
+            flow,
+            end_seq,
+            packet,
+            tries + 1,
+            label="hijack-shepherd",
+        )
 
     def last_delivery_from(self, src_ip: str, dst_ip: str | None = None) -> float | None:
         """When the far side last actually received data from ``src_ip``."""

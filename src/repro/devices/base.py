@@ -62,6 +62,7 @@ class IoTDevice:
         payload = {"value": value}
         payload.update(data or {})
         event_name = self.behavior.event_name(value)
+        self._record_emission(event_name)
         obs = self.sim.obs
         if obs.enabled:
             # Root of the causal trace: the I(E) instant.  Downstream layers
@@ -99,11 +100,17 @@ class IoTDevice:
         if new_value is not None and new_value != self.state.get(self.behavior.attribute):
             self._set_state(self.behavior.attribute, new_value)
             # Actuators report the resulting state change back as an event.
-            self._emit_event(
-                self.behavior.event_name(new_value), {"value": new_value, "cause": "command"}
-            )
+            name = self.behavior.event_name(new_value)
+            self._record_emission(name)
+            self._emit_event(name, {"value": new_value, "cause": "command"})
 
     # ----------------------------------------------------- uplink (abstract)
+
+    def _record_emission(self, event_name: str) -> None:
+        """Ground-truth ledger for the rule-provenance invariant."""
+        inv = self.sim.invariants
+        if inv is not None:
+            inv.on_event_emitted(self.device_id, event_name)
 
     def _emit_event(self, name: str, data: dict[str, Any]) -> None:
         raise NotImplementedError
@@ -199,6 +206,7 @@ class CameraDevice(WifiDevice):
         if not self.streaming:
             return
         self.stream_frames_sent += 1
+        self._record_emission("stream.frame")
         self.client.send_event(
             "stream.frame",
             {"seq": self.stream_frames_sent},

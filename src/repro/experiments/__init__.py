@@ -26,6 +26,7 @@ from .findings import (
 )
 from .jamming_contrast import render_jamming_contrast, run_jamming_contrast
 from .recognition import render_recognition, run_recognition
+from .robustness import render_robustness, run_robustness
 from .table1 import profile_label, render_table1, run_table1
 from .table2 import profile_local_label, render_table2, run_table2
 from .table3 import render_table3, run_figure3, run_table3
@@ -41,8 +42,10 @@ __all__ = [
     "run_static_arp_defense",
     "render_jamming_contrast",
     "render_recognition",
+    "render_robustness",
     "run_jamming_contrast",
     "run_recognition",
+    "run_robustness",
     "finding2_event_discard",
     "finding3_unidirectional_liveness",
     "profile_label",

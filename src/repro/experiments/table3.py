@@ -77,9 +77,16 @@ def _disabled_flag(metrics: dict[str, Any]) -> str:
     raise KeyError(f"no disabled flag in {metrics}")
 
 
-def _run_case(scenario: Scenario, seed: int) -> CaseRow:
+def _run_case(
+    scenario: Scenario,
+    seed: int,
+    faults: Any = None,
+    check_invariants: bool = False,
+) -> CaseRow:
     """One shard: the with/without pair for a single PoC case."""
-    baseline, attacked = compare_scenario(scenario, seed=seed)
+    baseline, attacked = compare_scenario(
+        scenario, seed=seed, faults=faults, check_invariants=check_invariants
+    )
     return CaseRow(scenario=scenario, baseline=baseline, attacked=attacked)
 
 
@@ -88,14 +95,24 @@ def run_table3(
     scenarios: list[Scenario] | None = None,
     jobs: int | None = 1,
     runner: CampaignRunner | None = None,
+    faults: Any = None,
+    check_invariants: bool = False,
 ) -> list[CaseRow]:
-    """One shard per case; every case keeps the campaign seed, as before."""
+    """One shard per case; every case keeps the campaign seed, as before.
+
+    ``faults`` (profile or spec string) runs every case on an impaired LAN;
+    ``check_invariants`` audits each run with the cross-layer suite.
+    """
     cases = list(scenarios or TABLE3_SCENARIOS)
     shards = [
         Shard(
             key=f"table3/{scenario.case_id or scenario.name}",
             fn=_run_case,
-            kwargs={"scenario": scenario},
+            kwargs={
+                "scenario": scenario,
+                "faults": faults,
+                "check_invariants": check_invariants,
+            },
             seed=seed,
         )
         for scenario in cases
@@ -104,8 +121,19 @@ def run_table3(
     return runner.run(shards)
 
 
-def run_figure3(seed: int = 3, jobs: int | None = 1) -> list[CaseRow]:
-    return run_table3(seed=seed, scenarios=FIGURE3_SCENARIOS, jobs=jobs)
+def run_figure3(
+    seed: int = 3,
+    jobs: int | None = 1,
+    faults: Any = None,
+    check_invariants: bool = False,
+) -> list[CaseRow]:
+    return run_table3(
+        seed=seed,
+        scenarios=FIGURE3_SCENARIOS,
+        jobs=jobs,
+        faults=faults,
+        check_invariants=check_invariants,
+    )
 
 
 def _headline(metrics: dict[str, Any]) -> str:

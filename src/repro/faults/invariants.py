@@ -1,0 +1,276 @@
+"""Cross-layer safety/liveness invariants for the simulated stack.
+
+The fault injector proves the network *can* misbehave; this module proves
+the stack *doesn't*.  An :class:`InvariantSuite` installs itself on the
+simulator (``sim.invariants``) and each layer calls a tiny hook at its
+commit points — the same pattern as ``sim.obs``: one attribute load and a
+``None`` check when the suite is off, so the ideal-path cost is nil.
+
+Checked invariants:
+
+* :data:`INV_TCP_STREAM` — every byte a TCP connection delivers to its
+  application is exactly the next byte its peer sent: exactly-once,
+  in-order, never invented.  This is the property that makes loss,
+  duplication, and reordering invisible to TLS.
+* :data:`INV_TLS_INTEGRITY` — no TLS session raises a fatal integrity
+  alert (bad record MAC / sequence desync).  Under an honest TCP this
+  must hold for every fault profile whose corruption mode is ``drop``.
+* :data:`INV_HOLD_ORDER` — the attacker's hold queues release packets in
+  capture order per flow; a delayed packet is stale, never shuffled.
+* :data:`INV_RULE_PROVENANCE` — an automation rule never fires more
+  often for ``(device, event)`` than the device actually emitted that
+  event: dropped triggers may delay rules, never invent firings.
+
+Violations carry the simulated time and an actionable message naming the
+flow/session/rule at fault.  By default violations accumulate and
+:meth:`InvariantSuite.check` raises at the end of a run; ``strict=True``
+raises at the exact moment of violation instead (handy under a debugger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.scheduler import Simulator
+    from ..tcp.connection import TcpConnection
+
+INV_TCP_STREAM = "tcp-stream-exactly-once"
+INV_TLS_INTEGRITY = "tls-record-integrity"
+INV_HOLD_ORDER = "hold-release-order"
+INV_RULE_PROVENANCE = "rule-trigger-provenance"
+
+ALL_INVARIANTS = (
+    INV_TCP_STREAM,
+    INV_TLS_INTEGRITY,
+    INV_HOLD_ORDER,
+    INV_RULE_PROVENANCE,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed break of one invariant."""
+
+    invariant: str
+    time: float
+    message: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] t={self.time:.3f}s {self.message}"
+
+
+class InvariantError(AssertionError):
+    """Raised when one or more invariants were violated."""
+
+    def __init__(self, violations: Iterable[Violation]) -> None:
+        self.violations = list(violations)
+        lines = "\n  ".join(str(v) for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} invariant violation(s):\n  {lines}"
+        )
+
+
+class _StreamState:
+    """One direction of one TCP 4-tuple: sent bytes vs. delivered bytes.
+
+    Memory-bounded: the delivered prefix is trimmed away, so the buffer
+    only ever holds bytes in flight (sent but not yet delivered).
+    """
+
+    __slots__ = ("sent", "base", "delivered")
+
+    def __init__(self) -> None:
+        self.sent = bytearray()
+        self.base = 0  # stream offset of sent[0]
+        self.delivered = 0  # bytes handed to the receiving application
+
+
+class InvariantSuite:
+    """Cross-layer invariant checkers for one simulation.
+
+    Install with :meth:`install` (or pass ``check_invariants=True`` to the
+    testbed / scenario runners, which do it for you).
+    """
+
+    def __init__(self, sim: "Simulator", strict: bool = False) -> None:
+        self.sim = sim
+        self.strict = strict
+        self.violations: list[Violation] = []
+        #: (src_ip, src_port, dst_ip, dst_port) -> _StreamState
+        self._streams: dict[tuple[str, int, str, int], _StreamState] = {}
+        #: flow label -> simulated timestamp of the last packet released.
+        self._last_release_ts: dict[str, float] = {}
+        #: (device_id, event_name) -> emission count.
+        self._emitted: dict[tuple[str, str], int] = {}
+        #: (rule_id, device_id, event_name) -> firing count.
+        self._fired: dict[tuple[str, str, str], int] = {}
+        self.checks_run = 0
+
+    def install(self) -> "InvariantSuite":
+        """Register as ``sim.invariants`` so the layer hooks find us."""
+        self.sim.invariants = self
+        return self
+
+    # ------------------------------------------------------------ TCP hooks
+
+    def on_tcp_send(self, conn: "TcpConnection", data: bytes) -> None:
+        """Record application bytes queued on a connection (sender side)."""
+        key = (conn.local_ip, conn.local_port, conn.remote_ip, conn.remote_port)
+        state = self._streams.get(key)
+        if state is None:
+            state = self._streams[key] = _StreamState()
+        state.sent.extend(data)
+
+    def on_tcp_deliver(self, conn: "TcpConnection", data: bytes) -> None:
+        """Check bytes handed to the receiving application (receiver side)."""
+        self.checks_run += 1
+        key = (conn.remote_ip, conn.remote_port, conn.local_ip, conn.local_port)
+        state = self._streams.get(key)
+        if state is None:
+            # Peer never registered a send — bytes out of thin air
+            # (e.g. a forged or replayed segment accepted as data).
+            self._violate(
+                INV_TCP_STREAM,
+                f"flow {conn.flow_label()}: delivered {len(data)} bytes on a "
+                "stream with no recorded sender — data was invented or "
+                "replayed, not sent by the peer",
+                flow=conn.flow_label(),
+                delivered=len(data),
+            )
+            return
+        start = state.delivered - state.base
+        end = start + len(data)
+        if start < 0 or end > len(state.sent):
+            self._violate(
+                INV_TCP_STREAM,
+                f"flow {conn.flow_label()}: delivered bytes "
+                f"[{state.delivered}, {state.delivered + len(data)}) but the "
+                f"peer only sent {state.base + len(state.sent)} bytes — "
+                "exactly-once delivery violated (duplicate or invented data)",
+                flow=conn.flow_label(),
+                delivered_offset=state.delivered,
+                sent_total=state.base + len(state.sent),
+            )
+            return
+        expected = bytes(state.sent[start:end])
+        if expected != data:
+            diff = next(i for i in range(len(data)) if data[i] != expected[i])
+            self._violate(
+                INV_TCP_STREAM,
+                f"flow {conn.flow_label()}: byte {state.delivered + diff} of "
+                f"the stream differs from what the peer sent "
+                f"(got 0x{data[diff]:02x}, sent 0x{expected[diff]:02x}) — "
+                "in-order delivery corrupted (skipped retransmission or "
+                "mangled segment accepted)",
+                flow=conn.flow_label(),
+                offset=state.delivered + diff,
+            )
+            return
+        state.delivered += len(data)
+        # Trim the consumed prefix so memory stays bounded by in-flight data.
+        consumed = state.delivered - state.base
+        if consumed > 0:
+            del state.sent[:consumed]
+            state.base = state.delivered
+
+    # ------------------------------------------------------------ TLS hooks
+
+    def on_tls_alert(self, session_label: str, description: str) -> None:
+        """A TLS session raised a fatal alert — always an integrity break."""
+        self.checks_run += 1
+        self._violate(
+            INV_TLS_INTEGRITY,
+            f"TLS session {session_label} raised fatal alert "
+            f"{description!r} — a record failed MAC/sequence verification, "
+            "so TCP handed TLS bytes the peer never sealed",
+            session=session_label,
+            alert=description,
+        )
+
+    # ------------------------------------------------------- attacker hooks
+
+    def on_hold_release(self, flow_label: str, timestamps: list[float]) -> None:
+        """The hijacker is flushing a hold queue for ``flow_label``.
+
+        ``timestamps`` are the capture times of the packets about to be
+        released, in release order.
+        """
+        self.checks_run += 1
+        last = self._last_release_ts.get(flow_label, float("-inf"))
+        for ts in timestamps:
+            if ts < last:
+                self._violate(
+                    INV_HOLD_ORDER,
+                    f"flow {flow_label}: releasing a packet captured at "
+                    f"t={ts:.3f}s after one captured at t={last:.3f}s — hold "
+                    "release must preserve capture order (phantom delay "
+                    "means stale, never shuffled)",
+                    flow=flow_label,
+                    released_ts=ts,
+                    previous_ts=last,
+                )
+                return
+            last = ts
+        self._last_release_ts[flow_label] = last
+
+    # ----------------------------------------------------- automation hooks
+
+    def on_event_emitted(self, device_id: str, event_name: str) -> None:
+        """A device actually produced ``event_name`` (ground truth)."""
+        key = (device_id, event_name)
+        self._emitted[key] = self._emitted.get(key, 0) + 1
+
+    def on_rule_fired(self, rule_id: str, device_id: str, event_name: str) -> None:
+        """An automation rule fired from a ``(device, event)`` trigger."""
+        self.checks_run += 1
+        fired_key = (rule_id, device_id, event_name)
+        self._fired[fired_key] = self._fired.get(fired_key, 0) + 1
+        emitted = self._emitted.get((device_id, event_name), 0)
+        if self._fired[fired_key] > emitted:
+            self._violate(
+                INV_RULE_PROVENANCE,
+                f"rule {rule_id!r} fired {self._fired[fired_key]} time(s) on "
+                f"{device_id}/{event_name} but the device only emitted it "
+                f"{emitted} time(s) — a firing has no emitted trigger "
+                "(phantom or duplicated event)",
+                rule=rule_id,
+                device=device_id,
+                event=event_name,
+                fired=self._fired[fired_key],
+                emitted=emitted,
+            )
+
+    # --------------------------------------------------------------- results
+
+    def _violate(self, invariant: str, message: str, **details: Any) -> None:
+        violation = Violation(
+            invariant=invariant, time=self.sim.now, message=message, details=details
+        )
+        self.violations.append(violation)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter(
+                "faults", "invariant_violations", invariant=invariant
+            ).inc()
+        if self.strict:
+            raise InvariantError([violation])
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def check(self) -> None:
+        """Raise :class:`InvariantError` if any invariant was violated."""
+        if self.violations:
+            raise InvariantError(self.violations)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"invariants: all held ({self.checks_run} checks)"
+        return (
+            f"invariants: {len(self.violations)} violation(s) over "
+            f"{self.checks_run} checks — " + "; ".join(str(v) for v in self.violations)
+        )

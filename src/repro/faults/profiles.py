@@ -1,0 +1,157 @@
+"""Impairment profiles: what a misbehaving network does, as data.
+
+A :class:`FaultProfile` is a frozen bundle of per-frame impairment
+probabilities and magnitudes.  Profiles compose — any subset of the knobs
+may be non-zero — and are pure data, so they pickle cleanly into
+:class:`~repro.parallel.runner.Shard` kwargs and hash into derived seeds.
+
+Loss comes in two flavours, matching how WiFi actually fails:
+
+* **Bernoulli** (``loss``): independent per-frame coin flips — background
+  interference;
+* **Gilbert-Elliott** (``burst_enter``/``burst_exit``/``burst_loss``): a
+  two-state Markov chain whose bad state drops frames in bursts — a
+  microwave oven, a neighbour's transfer, a passing body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+_PROBABILITY_FIELDS = (
+    "loss", "burst_enter", "burst_exit", "burst_loss", "duplicate", "reorder", "corrupt",
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """One composable bundle of network impairments.
+
+    All probabilities are per transmitted frame; all delays are seconds of
+    simulated time.  ``corrupt_mode`` chooses what a corrupted frame does:
+    ``"drop"`` models the Ethernet/WiFi FCS discarding it (so TCP sees it
+    as loss and retransmits — the honest default), ``"deliver"`` hands the
+    mangled bytes up the stack so the TLS MAC check must catch them (used
+    by the invariant regression tests).
+    """
+
+    name: str = "custom"
+    #: Bernoulli per-frame loss probability.
+    loss: float = 0.0
+    #: Gilbert-Elliott chain: P(good->bad), P(bad->good), loss in bad state.
+    burst_enter: float = 0.0
+    burst_exit: float = 1.0
+    burst_loss: float = 0.0
+    #: Probability a frame is delivered twice (copy a short time later).
+    duplicate: float = 0.0
+    #: Probability a frame is held back so later frames overtake it, and
+    #: the maximum extra holdback applied when it is.
+    reorder: float = 0.0
+    reorder_window: float = 0.05
+    #: Probability one payload byte is flipped in flight.
+    corrupt: float = 0.0
+    corrupt_mode: str = "drop"
+    #: Extra uniform random delay per frame (channel contention).
+    jitter: float = 0.0
+    #: Per-host clock drift magnitude in parts-per-million: each host's
+    #: transmissions skew later by up to ``drift_ppm * 1e-6 * now`` seconds.
+    drift_ppm: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _PROBABILITY_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1]: {value}")
+        for name in ("reorder_window", "jitter", "drift_ppm"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative: {getattr(self, name)}")
+        if self.corrupt_mode not in ("drop", "deliver"):
+            raise ValueError(f"corrupt_mode must be 'drop' or 'deliver': {self.corrupt_mode!r}")
+
+    @property
+    def impaired(self) -> bool:
+        """False for the ideal link (every knob at its neutral value)."""
+        return any(
+            getattr(self, f) > 0
+            for f in (*_PROBABILITY_FIELDS, "jitter", "drift_ppm")
+            if f != "burst_exit"
+        )
+
+    def describe(self) -> str:
+        """Compact ``knob=value`` summary of the non-neutral impairments."""
+        parts = []
+        neutral = {"burst_exit": 1.0, "reorder_window": 0.05, "corrupt_mode": "drop"}
+        for f in fields(self):
+            if f.name == "name":
+                continue
+            value = getattr(self, f.name)
+            if value != neutral.get(f.name, 0.0 if f.name != "corrupt_mode" else "drop"):
+                parts.append(f"{f.name}={value:g}" if isinstance(value, float) else f"{f.name}={value}")
+        return f"{self.name}({', '.join(parts) or 'ideal'})"
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultProfile":
+        """Build a profile from a named preset or ``knob=value`` pairs.
+
+        ``"lossy"`` resolves from :data:`PROFILES`; ``"loss=0.05,jitter=0.01"``
+        builds a custom profile.  A leading preset can be extended:
+        ``"lossy,jitter=0.02"``.
+        """
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        base = cls(name=spec if parts and "=" not in parts[0] else "custom")
+        if parts and "=" not in parts[0]:
+            base = get_profile(parts[0])
+            parts = parts[1:]
+            if parts:
+                base = replace(base, name=f"{base.name}+custom")
+        overrides: dict[str, object] = {}
+        valid = {f.name for f in fields(cls)}
+        for part in parts:
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in valid or key == "name":
+                raise ValueError(f"unknown fault knob {key!r} in {spec!r}")
+            overrides[key] = raw.strip() if key == "corrupt_mode" else float(raw)
+        return replace(base, **overrides) if overrides else base
+
+
+#: Named presets used by the CLI ``--faults`` flag, the robustness sweep,
+#: and the CI faults-matrix.  Magnitudes are chosen so every Table III
+#: attack still lands (the acceptance bar: success at loss <= 5%).
+PROFILES: dict[str, FaultProfile] = {
+    "ideal": FaultProfile(name="ideal"),
+    "lossy": FaultProfile(name="lossy", loss=0.03),
+    "bursty": FaultProfile(
+        name="bursty", burst_enter=0.02, burst_exit=0.25, burst_loss=0.6
+    ),
+    "jittery": FaultProfile(
+        name="jittery", jitter=0.015, reorder=0.05, reorder_window=0.03, drift_ppm=50.0
+    ),
+    "chaotic": FaultProfile(
+        name="chaotic",
+        loss=0.02,
+        burst_enter=0.01,
+        burst_exit=0.3,
+        burst_loss=0.5,
+        duplicate=0.02,
+        reorder=0.03,
+        jitter=0.01,
+        corrupt=0.005,
+    ),
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; known: {', '.join(sorted(PROFILES))}"
+        ) from None
+
+
+def resolve_profile(faults: "FaultProfile | str | None") -> FaultProfile | None:
+    """Normalise the ``faults=`` argument accepted across the stack."""
+    if faults is None or isinstance(faults, FaultProfile):
+        return faults
+    return FaultProfile.parse(faults)

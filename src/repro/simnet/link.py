@@ -11,12 +11,14 @@ Two properties of real WiFi matter for the paper and are preserved:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, TYPE_CHECKING
 
 from .packet import BROADCAST_MAC, EthernetFrame, MacPool
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
     from .scheduler import Simulator
 
 FrameHandler = Callable[[EthernetFrame], None]
@@ -70,6 +72,18 @@ class Lan:
         self._nics: dict[str, Nic] = {}
         self.frames_transmitted = 0
         self.bytes_transmitted = 0
+        #: Optional impairment hook (see :mod:`repro.faults.injector`).
+        self.fault_injector: "FaultInjector | None" = None
+        #: Per-transmission sequence numbers: every scheduled delivery knows
+        #: its place in transmit order, so reordering is *observable* rather
+        #: than an accident of callback ordering.
+        self._frame_seq = itertools.count()
+        self._last_delivered_seq = -1
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        #: Deliveries whose transmit-order sequence ran backwards — the
+        #: ground truth the reordering impairment and its tests check.
+        self.frames_out_of_order = 0
 
     def attach(self, handler: FrameHandler, promiscuous: bool = False) -> Nic:
         """Create a NIC on this LAN delivering inbound frames to ``handler``."""
@@ -86,20 +100,47 @@ class Lan:
         return self._nics.get(mac)
 
     def transmit(self, frame: EthernetFrame, sender: Nic) -> None:
-        """Queue ``frame`` for delivery after one LAN latency."""
+        """Queue ``frame`` for delivery after one LAN latency.
+
+        Each delivery is a scheduled event stamped with a per-frame
+        sequence number; the fault injector (when attached) may reshape
+        the plan into zero, one, or several deliveries.
+        """
         self.frames_transmitted += 1
         self.bytes_transmitted += frame.byte_size()
         delay = self.latency
         if self.jitter > 0:
             delay += self.sim.rng.uniform(0.0, self.jitter)
-        self.sim.schedule(
-            delay, self._deliver, frame, sender.mac, label=f"lan:{self.name}"
-        )
+        injector = self.fault_injector
+        if injector is None:
+            deliveries = ((delay, frame),)
+        else:
+            deliveries = injector.plan(frame, delay)
+            if not deliveries:
+                self.frames_dropped += 1
+                return
+        for when, copy in deliveries:
+            self.sim.schedule(
+                when,
+                self._deliver,
+                copy,
+                sender.mac,
+                next(self._frame_seq),
+                label=f"lan:{self.name}",
+            )
 
-    def _deliver(self, frame: EthernetFrame, sender_mac: str) -> None:
+    def _deliver(self, frame: EthernetFrame, sender_mac: str, seq: int) -> None:
+        self.frames_delivered += 1
+        if seq < self._last_delivered_seq:
+            self.frames_out_of_order += 1
+        else:
+            self._last_delivered_seq = seq
+        # Recipients resolve at arrival time and are walked in MAC order —
+        # a total order independent of attach history, so promiscuous
+        # capture and reordering faults see one consistent sequence.
         delivered_to: set[str] = set()
         if frame.dst_mac == BROADCAST_MAC:
-            for mac, nic in list(self._nics.items()):
+            for mac, nic in sorted(self._nics.items()):
                 if mac != sender_mac:
                     delivered_to.add(mac)
                     nic.handler(frame)
@@ -110,6 +151,6 @@ class Lan:
                 nic.handler(frame)
         # Promiscuous NICs overhear everything on the air, including frames
         # they already received as the addressee (delivered once only).
-        for mac, nic in list(self._nics.items()):
+        for mac, nic in sorted(self._nics.items()):
             if nic.promiscuous and mac != sender_mac and mac not in delivered_to:
                 nic.handler(frame)

@@ -93,6 +93,9 @@ class Simulator:
         self._observer = observer
         #: Per-simulation observability facade; disabled until enabled.
         self.obs = Observability()
+        #: Optional cross-layer invariant suite (see
+        #: :mod:`repro.faults.invariants`); None keeps layer hooks free.
+        self.invariants: Any = None
 
     @property
     def now(self) -> float:

@@ -63,6 +63,12 @@ class TcpConfig:
     keepalive_probe_interval: float = 10.0
     keepalive_probe_count: int = 5
     time_wait: float = 2.0
+    #: Pure duplicate ACKs that trigger a fast retransmit (RFC 5681).
+    dup_ack_threshold: int = 3
+    #: Out-of-order reassembly buffer cap, in segments.  Embedded stacks
+    #: have small fixed buffers; overflow discards the segment, which the
+    #: peer's retransmission timer repairs.
+    ooo_limit: int = 64
 
 
 @dataclass
@@ -110,6 +116,7 @@ class TcpConnection:
         self._send_queue: list[bytes] = []
         self._unacked: list[_Unacked] = []
         self._ooo: dict[int, TcpSegment] = {}
+        self._dup_acks = 0
         self._retx_timer = None
         self._keepalive_timer = None
         self._probes_outstanding = 0
@@ -125,8 +132,11 @@ class TcpConnection:
             "bytes_sent": 0,
             "bytes_delivered": 0,
             "retransmissions": 0,
+            "fast_retransmits": 0,
             "keepalive_probes": 0,
             "duplicate_acks_sent": 0,
+            "ooo_buffered": 0,
+            "ooo_discarded": 0,
         }
 
     # ------------------------------------------------------------- identity
@@ -187,6 +197,9 @@ class TcpConnection:
             )
             segments += 1
         self.stats["bytes_sent"] += len(view)
+        inv = self.sim.invariants
+        if inv is not None:
+            inv.on_tcp_send(self, bytes(view))
         obs = self.sim.obs
         if obs.enabled and obs.tracer.current is not None:
             # Child of whatever message span is ambient (TLS seal path).
@@ -237,7 +250,8 @@ class TcpConnection:
         self._probes_outstanding = 0
         if self.state in (ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2, CLOSE_WAIT, CLOSING, LAST_ACK):
             if segment.ack_flag:
-                self._handle_ack(segment.ack)
+                pure_ack = not (segment.payload or segment.syn or segment.fin)
+                self._handle_ack(segment.ack, pure_ack=pure_ack)
             if segment.payload or segment.fin:
                 self._handle_receive(segment)
             elif not segment.syn and segment.seq != self.rcv_nxt:
@@ -262,9 +276,17 @@ class TcpConnection:
 
     # ------------------------------------------------------------ ACK logic
 
-    def _handle_ack(self, ack: int) -> None:
+    def _handle_ack(self, ack: int, pure_ack: bool = False) -> None:
         if not (seq_lt(self.snd_una, ack) and seq_leq(ack, self.snd_nxt)):
+            # A pure ACK that re-asserts snd_una while data is in flight is
+            # a duplicate ACK: the receiver got something out of order.
+            # Forged hold ACKs *advance* snd_una, so they never count here.
+            if pure_ack and ack == self.snd_una and self._unacked:
+                self._dup_acks += 1
+                if self._dup_acks >= self.config.dup_ack_threshold:
+                    self._fast_retransmit()
             return
+        self._dup_acks = 0
         self.snd_una = ack
         still_unacked: list[_Unacked] = []
         for entry in self._unacked:
@@ -301,8 +323,14 @@ class TcpConnection:
             self._send_ack(duplicate=True)
             return
         if segment.seq != self.rcv_nxt:
-            # Out of order: buffer and re-assert our expectation.
-            self._ooo[segment.seq] = segment
+            # Out of order: buffer and re-assert our expectation.  The
+            # buffer is bounded like an embedded stack's; on overflow the
+            # segment is discarded and repaired by peer retransmission.
+            if segment.seq in self._ooo or len(self._ooo) < self.config.ooo_limit:
+                self._ooo[segment.seq] = segment
+                self.stats["ooo_buffered"] += 1
+            else:
+                self.stats["ooo_discarded"] += 1
             self._send_ack(duplicate=True)
             return
         self._accept_in_order(segment)
@@ -315,6 +343,9 @@ class TcpConnection:
         if segment.payload:
             self.rcv_nxt = seq_add(self.rcv_nxt, len(segment.payload))
             self.stats["bytes_delivered"] += len(segment.payload)
+            inv = self.sim.invariants
+            if inv is not None:
+                inv.on_tcp_deliver(self, segment.payload)
             if self.callbacks.on_data is not None:
                 self.callbacks.on_data(self, segment.payload)
         if segment.fin:
@@ -386,6 +417,21 @@ class TcpConnection:
         if self._retx_timer is not None:
             self._retx_timer.cancel()
             self._retx_timer = None
+
+    def _fast_retransmit(self) -> None:
+        """Resend the oldest unacked segment after repeated duplicate ACKs.
+
+        Loss recovery without waiting out the RTO (RFC 5681's signal); the
+        backoff schedule and the give-up counter are untouched so the
+        retransmission-timeout clock the paper measures keeps its meaning.
+        """
+        self._dup_acks = 0
+        oldest = self._unacked[0]
+        self.stats["fast_retransmits"] += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter("tcp", "fast_retransmits").inc()
+        self._emit(oldest.segment)
 
     def _on_retx_timeout(self, current_rto: float) -> None:
         self._retx_timer = None

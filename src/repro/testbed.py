@@ -28,6 +28,9 @@ from .cloud.local_server import LocalIoTServer
 from .cloud.notifications import NotificationService
 from .devices.base import CameraDevice, HubChildDevice, HubDevice, IoTDevice, WifiDevice
 from .devices.profiles import CATALOGUE, Catalogue, DeviceProfile, TABLE_CLOUD, TABLE_LOCAL
+from .faults.injector import FaultInjector
+from .faults.invariants import InvariantSuite
+from .faults.profiles import FaultProfile, resolve_profile
 from .simnet.host import Host
 from .simnet.inet import Internet
 from .simnet.link import DEFAULT_LAN_LATENCY, Lan
@@ -70,17 +73,29 @@ class SmartHomeTestbed:
         lan_latency: float | None = None,
         lan_jitter: float = 0.0,
         observe: bool = False,
+        faults: "FaultProfile | str | None" = None,
+        check_invariants: bool = False,
     ) -> None:
         self.sim = Simulator(seed=seed)
         if observe:
             # Before any component is built, so every layer sees obs enabled.
             self.sim.enable_observability()
+        self.invariants: InvariantSuite | None = None
+        if check_invariants:
+            # Before any component is built, so every layer hook is live.
+            self.invariants = InvariantSuite(self.sim).install()
         self.catalogue = catalogue or CATALOGUE
         self.lan = Lan(
             self.sim,
             latency=lan_latency if lan_latency is not None else DEFAULT_LAN_LATENCY,
             jitter=lan_jitter,
         )
+        self.fault_injector: FaultInjector | None = None
+        profile = resolve_profile(faults)
+        if profile is not None and profile.impaired:
+            self.fault_injector = FaultInjector(self.sim, profile, seed=seed).attach(
+                self.lan
+            )
         self.internet = Internet(self.sim)
         self.router = Router(self.sim, self.lan, self.internet)
         self.alarms = AlarmLog(self.sim)

@@ -241,6 +241,14 @@ class TlsSession:
         touching record bytes or ordering.
         """
         self.alerts_raised.append(description)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.registry.counter("tls", "integrity_alerts", role=self.role).inc()
+        inv = self.sim.invariants
+        if inv is not None:
+            inv.on_tls_alert(
+                f"{self.role}@{self.conn.flow_label()}", description
+            )
         if self.conn.is_open and self.conn.established and self._writer is not None:
             # Our *reader* is desynchronised but our writer is not, so the
             # peer can still verify a sealed alert.

@@ -1,0 +1,187 @@
+"""Unit tests for the fault-injection layer: profiles and the injector.
+
+The injector's contract is *schedule determinism*: a fixed number of RNG
+draws per eligible frame, whatever the outcomes, so two runs with the same
+seed see the identical impairment schedule even when unrelated traffic
+differs in content.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.injector import DUPLICATE_GAP, FaultInjector, _drift_factor
+from repro.faults.profiles import (
+    PROFILES,
+    FaultProfile,
+    get_profile,
+    resolve_profile,
+)
+from repro.simnet.packet import EthernetFrame, IpPacket
+from repro.simnet.scheduler import Simulator
+from repro.tcp.segment import make_segment
+
+
+def _data_frame(n: int = 0, payload: bytes = b"payload-bytes") -> EthernetFrame:
+    seg = make_segment(40000 + n, 8883, 100 + n, 1, "ACK", "PSH", payload=payload)
+    pkt = IpPacket(src_ip="192.168.1.10", dst_ip="34.0.1.1", payload=seg)
+    return EthernetFrame("02:00:00:00:00:01", "02:00:00:00:00:02", pkt)
+
+
+def _arp_like_frame() -> EthernetFrame:
+    # No TCP payload -> no src_port -> ineligible (control plane is reliable).
+    pkt = IpPacket(src_ip="192.168.1.10", dst_ip="192.168.1.1", payload=b"ctl")
+    return EthernetFrame("02:00:00:00:00:01", "ff:ff:ff:ff:ff:ff", pkt)
+
+
+class _CountingRandom(random.Random):
+    def __init__(self, seed: int) -> None:
+        super().__init__(seed)
+        self.calls = 0
+
+    def random(self) -> float:
+        self.calls += 1
+        return super().random()
+
+
+class TestProfiles:
+    def test_named_profiles_exist(self):
+        for name in ("ideal", "lossy", "bursty", "jittery", "chaotic"):
+            assert name in PROFILES
+            assert get_profile(name).name == name
+
+    def test_ideal_is_not_impaired(self):
+        assert not get_profile("ideal").impaired
+        assert get_profile("lossy").impaired
+
+    def test_parse_named(self):
+        assert FaultProfile.parse("lossy") == get_profile("lossy")
+
+    def test_parse_spec(self):
+        p = FaultProfile.parse("loss=0.05,jitter=0.01")
+        assert p.loss == 0.05 and p.jitter == 0.01
+
+    def test_parse_named_with_overrides(self):
+        p = FaultProfile.parse("lossy,jitter=0.02")
+        assert p.loss == get_profile("lossy").loss and p.jitter == 0.02
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(ValueError):
+            FaultProfile.parse("warp=0.5")
+
+    def test_validation_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultProfile(name="bad", loss=1.5)
+
+    def test_resolve_profile(self):
+        assert resolve_profile(None) is None
+        assert resolve_profile("bursty") == get_profile("bursty")
+        prof = FaultProfile(name="x", loss=0.1)
+        assert resolve_profile(prof) is prof
+
+    def test_describe_mentions_active_impairments(self):
+        text = get_profile("chaotic").describe()
+        assert "loss" in text and "chaotic" in text
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_plan(self):
+        outcomes = []
+        for _ in range(2):
+            sim = Simulator(seed=0)
+            inj = FaultInjector(sim, get_profile("chaotic"), seed=42)
+            plans = [inj.plan(_data_frame(i), 0.001) for i in range(300)]
+            outcomes.append(
+                ([len(p) for p in plans], [d for p in plans for d, _ in p], dict(inj.stats))
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seed_different_schedule(self):
+        results = []
+        for seed in (1, 2):
+            sim = Simulator(seed=0)
+            inj = FaultInjector(sim, get_profile("chaotic"), seed=seed)
+            results.append([len(inj.plan(_data_frame(i), 0.001)) for i in range(300)])
+        assert results[0] != results[1]
+
+    def test_fixed_draws_per_eligible_frame(self):
+        sim = Simulator(seed=0)
+        inj = FaultInjector(sim, get_profile("chaotic"), seed=7)
+        inj.rng = _CountingRandom(7)
+        for i in range(50):
+            inj.plan(_data_frame(i), 0.001)
+        assert inj.rng.calls == 50 * 9
+
+    def test_ineligible_frames_consume_no_draws(self):
+        sim = Simulator(seed=0)
+        inj = FaultInjector(sim, get_profile("chaotic"), seed=7)
+        inj.rng = _CountingRandom(7)
+        plan = inj.plan(_arp_like_frame(), 0.002)
+        assert inj.rng.calls == 0
+        assert plan == [(0.002, _arp_like_frame())] or len(plan) == 1
+        assert inj.stats["frames_seen"] == 0
+
+
+class TestInjectorImpairments:
+    def test_certain_loss_drops_everything(self):
+        sim = Simulator(seed=0)
+        inj = FaultInjector(sim, FaultProfile(name="dead", loss=1.0), seed=1)
+        assert inj.plan(_data_frame(), 0.001) == []
+        assert inj.stats["dropped_random"] == 1
+
+    def test_certain_duplication_yields_two_copies(self):
+        sim = Simulator(seed=0)
+        inj = FaultInjector(sim, FaultProfile(name="echo", duplicate=1.0), seed=1)
+        plan = inj.plan(_data_frame(), 0.001)
+        assert len(plan) == 2
+        assert plan[1][0] == pytest.approx(plan[0][0] + DUPLICATE_GAP)
+        assert plan[0][1] is plan[1][1]
+
+    def test_corrupt_deliver_flips_exactly_one_byte(self):
+        sim = Simulator(seed=0)
+        profile = FaultProfile(name="bitrot", corrupt=1.0, corrupt_mode="deliver")
+        inj = FaultInjector(sim, profile, seed=1)
+        original = _data_frame(payload=b"AAAABBBB")
+        [(_, mangled)] = inj.plan(original, 0.001)
+        a = original.payload.payload.payload
+        b = mangled.payload.payload.payload
+        assert len(a) == len(b)
+        assert sum(x != y for x, y in zip(a, b)) == 1
+        assert inj.stats["corrupted_delivered"] == 1
+
+    def test_corrupt_drop_mode_discards(self):
+        sim = Simulator(seed=0)
+        profile = FaultProfile(name="fcs", corrupt=1.0, corrupt_mode="drop")
+        inj = FaultInjector(sim, profile, seed=1)
+        assert inj.plan(_data_frame(), 0.001) == []
+        assert inj.stats["dropped_corrupt"] == 1
+
+    def test_jitter_never_reduces_delay(self):
+        sim = Simulator(seed=0)
+        inj = FaultInjector(sim, FaultProfile(name="j", jitter=0.05), seed=1)
+        for i in range(100):
+            for delay, _ in inj.plan(_data_frame(i), 0.001):
+                assert 0.001 <= delay <= 0.001 + 0.05 + 1e-9
+
+    def test_drift_factor_is_per_host_deterministic(self):
+        assert _drift_factor("02:00:00:00:00:01") == _drift_factor("02:00:00:00:00:01")
+        assert _drift_factor("02:00:00:00:00:01") != _drift_factor("02:00:00:00:00:02")
+        assert 0.5 <= _drift_factor("02:00:00:00:00:01") <= 1.5
+
+    def test_burst_state_advances_and_drops(self):
+        sim = Simulator(seed=0)
+        profile = FaultProfile(
+            name="storm", burst_enter=1.0, burst_exit=0.0, burst_loss=1.0
+        )
+        inj = FaultInjector(sim, profile, seed=1)
+        inj.plan(_data_frame(0), 0.001)  # enters the burst state
+        assert inj.plan(_data_frame(1), 0.001) == []
+        assert inj.stats["dropped_burst"] >= 1
+
+    def test_summary_mentions_counts(self):
+        sim = Simulator(seed=0)
+        inj = FaultInjector(sim, FaultProfile(name="dead", loss=1.0), seed=1)
+        inj.plan(_data_frame(), 0.001)
+        assert "dropped_random" in inj.summary()

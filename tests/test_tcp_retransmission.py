@@ -1,0 +1,289 @@
+"""RTO edge cases: exact-tick retransmission, backoff cap, duplicate-ACK
+fast retransmit, and the forged-ACK interplay the attack depends on.
+
+These pin down the retransmission clock the paper measures (Section IV-A1):
+the phantom delay works *because* forged ACKs silence this exact machinery,
+so its behaviour must stay honest under the fault injector.
+"""
+
+from __future__ import annotations
+
+from repro.simnet.packet import EthernetFrame, IpPacket
+from repro.simnet.link import Lan
+from repro.simnet.scheduler import Simulator
+from repro.tcp.connection import (
+    REASON_RETRANSMIT_TIMEOUT,
+    TcpCallbacks,
+    TcpConfig,
+)
+from repro.tcp.segment import TcpSegment, make_segment, seq_add
+from repro.tcp.stack import TcpStack
+
+
+def _wire_pair(seed=5, loss_filter=None, tap=None):
+    """Two stacks joined by a LAN, with optional drop filter and send tap."""
+    sim = Simulator(seed=seed)
+    lan = Lan(sim)
+
+    class _Host:
+        def __init__(self, ip, name):
+            self.sim = sim
+            self.ip = ip
+            self.hostname = name
+            self.ip_handler = None
+            self.frame_taps = []
+            self.nic = lan.attach(self._on_frame)
+
+        def send_ip(self, packet):
+            if tap is not None:
+                tap(sim.now, packet)
+            if loss_filter is not None and loss_filter(packet):
+                return
+            other = b_host if self is a_host else a_host
+            self.nic.send(EthernetFrame(self.nic.mac, other.nic.mac, packet))
+
+        def _on_frame(self, frame):
+            if self.ip_handler and isinstance(frame.payload, IpPacket):
+                if frame.payload.dst_ip == self.ip:
+                    self.ip_handler(frame.payload)
+
+    a_host = _Host("10.0.0.1", "a")
+    b_host = _Host("10.0.0.2", "b")
+    return sim, TcpStack(a_host), TcpStack(b_host)
+
+
+def _data_times(record, src_ip="10.0.0.1"):
+    return [
+        t for t, p in record
+        if p.src_ip == src_ip
+        and isinstance(p.payload, TcpSegment)
+        and p.payload.payload
+    ]
+
+
+class TestRtoTiming:
+    def test_retransmit_fires_at_exactly_the_initial_rto(self):
+        """First retransmission happens one rto_initial after the send."""
+        record = []
+        drop = {"n": 0}
+
+        def loss(packet):
+            seg = packet.payload
+            if isinstance(seg, TcpSegment) and seg.payload and drop["n"] == 0:
+                drop["n"] += 1
+                return True
+            return False
+
+        sim, a, b = _wire_pair(loss_filter=loss, tap=lambda t, p: record.append((t, p)))
+        b.listen(80, lambda c: None)
+        conn = a.connect("10.0.0.2", 80, config=TcpConfig(rto_initial=1.0))
+        sim.run(1.0)
+        conn.send(b"once")
+        sim.run(5.0)
+        times = _data_times(record)
+        assert len(times) == 2
+        # The retx timer is armed at send time for exactly rto_initial.
+        assert abs((times[1] - times[0]) - 1.0) < 1e-9
+        assert conn.stats["retransmissions"] == 1
+
+    def test_backoff_doubles_then_caps_at_rto_max(self):
+        record = []
+        sim, a, b = _wire_pair(
+            loss_filter=lambda p: isinstance(p.payload, TcpSegment)
+            and bool(p.payload.payload),
+            tap=lambda t, p: record.append((t, p)),
+        )
+        closed = []
+        b.listen(80, lambda c: None)
+        conn = a.connect(
+            "10.0.0.2", 80,
+            callbacks=TcpCallbacks(on_closed=lambda c, r: closed.append(r)),
+            config=TcpConfig(
+                rto_initial=1.0, rto_backoff=2.0, rto_max=4.0, max_retransmits=6
+            ),
+        )
+        sim.run(1.0)
+        conn.send(b"doomed")
+        sim.run(120.0)
+        gaps = [b_ - a_ for a_, b_ in zip(_data_times(record), _data_times(record)[1:])]
+        # 6 retransmissions: gaps 1, ~2, ~4, then pinned at ~4 (±10% jitter).
+        assert len(gaps) == 6
+        assert abs(gaps[0] - 1.0) < 1e-9
+        for gap in gaps[1:]:
+            assert gap <= 4.0 * 1.1 + 1e-9
+        assert abs(gaps[-1] - 4.0) <= 4.0 * 0.1 + 1e-9
+        assert gaps[-1] >= gaps[0]
+        # Give-up after the cap was hit repeatedly.
+        assert closed == [REASON_RETRANSMIT_TIMEOUT]
+
+    def test_ack_before_rto_cancels_the_timer(self):
+        record = []
+        sim, a, b = _wire_pair(tap=lambda t, p: record.append((t, p)))
+        b.listen(80, lambda c: None)
+        conn = a.connect("10.0.0.2", 80, config=TcpConfig(rto_initial=1.0))
+        sim.run(1.0)
+        conn.send(b"fine")
+        sim.run(10.0)
+        assert len(_data_times(record)) == 1
+        assert conn.stats["retransmissions"] == 0
+
+
+class TestFastRetransmit:
+    def test_three_dup_acks_trigger_fast_retransmit(self):
+        """A hole followed by later segments is repaired well before the RTO."""
+        drop = {"n": 0}
+
+        def loss(packet):
+            seg = packet.payload
+            if isinstance(seg, TcpSegment) and seg.payload and drop["n"] == 0:
+                drop["n"] += 1
+                return True
+            return False
+
+        sim, a, b = _wire_pair(loss_filter=loss)
+        received = []
+        b.listen(
+            80,
+            lambda c: setattr(
+                c.callbacks, "on_data", lambda cc, d: received.append(d)
+            ),
+        )
+        conn = a.connect(
+            "10.0.0.2", 80, config=TcpConfig(mss=4, rto_initial=30.0)
+        )
+        sim.run(1.0)
+        conn.send(b"aaaabbbbccccdddd")  # 4 segments; the first is dropped
+        sim.run(5.0)  # far less than the 30 s RTO
+        assert b"".join(received) == b"aaaabbbbccccdddd"
+        assert conn.stats["fast_retransmits"] == 1
+        assert conn.stats["retransmissions"] == 0  # RTO clock never consulted
+
+    def test_fast_retransmit_does_not_burn_the_give_up_counter(self):
+        """Fast retransmits must not count against max_retransmits."""
+        drop = {"n": 0}
+
+        def loss(packet):
+            seg = packet.payload
+            if isinstance(seg, TcpSegment) and seg.payload and drop["n"] == 0:
+                drop["n"] += 1
+                return True
+            return False
+
+        sim, a, b = _wire_pair(loss_filter=loss)
+        closed = []
+        b.listen(80, lambda c: None)
+        conn = a.connect(
+            "10.0.0.2", 80,
+            callbacks=TcpCallbacks(on_closed=lambda c, r: closed.append(r)),
+            config=TcpConfig(mss=4, rto_initial=30.0, max_retransmits=1),
+        )
+        sim.run(1.0)
+        conn.send(b"aaaabbbbccccdddd")
+        sim.run(10.0)
+        assert conn.stats["fast_retransmits"] == 1
+        assert closed == []  # the connection survived
+
+    def test_dup_acks_below_threshold_do_nothing(self):
+        sim, a, b = _wire_pair()
+        b.listen(80, lambda c: None)
+        conn = a.connect("10.0.0.2", 80, config=TcpConfig(rto_initial=30.0))
+        sim.run(1.0)
+        conn.send(b"data")
+        sim.run(0.5)
+        # Two forged pure duplicate ACKs at snd_una: below the threshold.
+        for _ in range(2):
+            conn.on_segment(
+                make_segment(80, conn.local_port, conn.rcv_nxt, conn.snd_una, "ACK")
+            )
+        sim.run(0.5)
+        assert conn.stats["fast_retransmits"] == 0
+
+
+class TestForgedAckInterplay:
+    """The hijacker's forged ACK vs. the sender's retransmission machinery."""
+
+    def _held_sender(self, rto=1.0):
+        """Sender whose data segment is swallowed (as a hold would)."""
+        swallowed = []
+
+        def loss(packet):
+            seg = packet.payload
+            if isinstance(seg, TcpSegment) and seg.payload:
+                swallowed.append(packet)
+                return True
+            return False
+
+        sim, a, b = _wire_pair(loss_filter=loss)
+        b.listen(80, lambda c: None)
+        conn = a.connect("10.0.0.2", 80, config=TcpConfig(rto_initial=rto))
+        sim.run(1.0)
+        conn.send(b"held-payload")
+        return sim, conn, swallowed
+
+    def test_forged_ack_silences_the_retransmission_timer(self):
+        sim, conn, swallowed = self._held_sender()
+        assert len(swallowed) == 1
+        seg = swallowed[0].payload
+        forged = make_segment(
+            80, conn.local_port, conn.rcv_nxt, seq_add(seg.seq, seg.seq_space), "ACK"
+        )
+        conn.on_segment(forged)
+        sim.run(30.0)
+        # No retransmission ever: the sender believes the data arrived.
+        assert conn.stats["retransmissions"] == 0
+        assert conn.snd_una == seq_add(seg.seq, seg.seq_space)
+        assert conn.established
+
+    def test_without_forged_ack_the_hold_would_be_loud(self):
+        sim, conn, swallowed = self._held_sender()
+        sim.run(30.0)
+        assert conn.stats["retransmissions"] >= 1
+
+    def test_repeated_forged_acks_never_fast_retransmit(self):
+        """Forged ACKs land when nothing is unacked: not duplicate signals."""
+        sim, conn, swallowed = self._held_sender(rto=60.0)
+        seg = swallowed[0].payload
+        forged = make_segment(
+            80, conn.local_port, conn.rcv_nxt, seq_add(seg.seq, seg.seq_space), "ACK"
+        )
+        for _ in range(5):
+            conn.on_segment(forged)
+        sim.run(5.0)
+        assert conn.stats["fast_retransmits"] == 0
+        assert conn.stats["retransmissions"] == 0
+
+
+class TestOutOfOrderLimits:
+    def test_ooo_buffer_cap_discards_excess_segments(self):
+        sim, a, b = _wire_pair()
+        server = []
+        b.listen(80, server.append, config=TcpConfig(ooo_limit=2))
+        conn = a.connect("10.0.0.2", 80)
+        sim.run(1.0)
+        srv = server[0]
+        base = srv.rcv_nxt
+        # Three distinct out-of-order segments; the third exceeds the cap.
+        for i in (1, 2, 3):
+            srv.on_segment(
+                make_segment(
+                    conn.local_port, 80, seq_add(base, i * 4), srv.snd_nxt,
+                    "ACK", payload=b"xxxx",
+                )
+            )
+        assert srv.stats["ooo_buffered"] == 2
+        assert srv.stats["ooo_discarded"] == 1
+
+    def test_duplicate_ooo_segment_is_not_double_counted(self):
+        sim, a, b = _wire_pair()
+        server = []
+        b.listen(80, server.append, config=TcpConfig(ooo_limit=2))
+        conn = a.connect("10.0.0.2", 80)
+        sim.run(1.0)
+        srv = server[0]
+        seg = make_segment(
+            conn.local_port, 80, seq_add(srv.rcv_nxt, 4), srv.snd_nxt,
+            "ACK", payload=b"xxxx",
+        )
+        srv.on_segment(seg)
+        srv.on_segment(seg)  # same hole again: replaces, never discards
+        assert srv.stats["ooo_discarded"] == 0
