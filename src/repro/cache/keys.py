@@ -1,0 +1,127 @@
+"""Cache-key derivation: canonical serialisation and the code fingerprint.
+
+A shard is a pure function of ``(fn, kwargs, seed, faults)`` *and of the
+simulator's source code*, so a cache key must cover all five.  The first
+four are canonicalised into a byte string (stable across processes,
+platforms, and dict orderings) and the fifth is a BLAKE2b digest of the
+whole ``src/repro`` tree — any code change, however small, invalidates
+every entry cleanly rather than serving results a different simulator
+produced.
+
+Two digests are derived per shard:
+
+* the **logical** digest over ``(fn, kwargs, seed)`` names the entry file,
+  so a code change *overwrites* the stale entry instead of stranding it;
+* the **fingerprint** travels in the entry's provenance and is compared on
+  lookup — a mismatch is reported as *stale*, not as a miss, so the
+  metrics distinguish "never ran" from "ran under older code".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+#: Bump when the canonicalisation or entry format changes incompatibly:
+#: it participates in every digest, so old entries simply stop matching.
+KEY_SCHEMA = 1
+
+#: Pickle protocol pinned for the fallback canonicalisation and payloads —
+#: the default protocol varies across Python versions, digests must not.
+PICKLE_PROTOCOL = 4
+
+_fingerprint_cache: dict[Path, str] = {}
+
+
+def qualified_name(fn: Callable[..., Any]) -> str:
+    """The import path a worker (or ``cache verify``) resolves ``fn`` by."""
+    return f"{fn.__module__}.{fn.__qualname__}"
+
+
+def canonical(obj: Any) -> bytes:
+    """Deterministic byte serialisation of a shard's kwargs.
+
+    JSON-able values serialise structurally (dicts sorted by key, floats
+    by ``repr`` so ``0.1`` never re-rounds); dataclasses serialise as
+    their qualified class name plus field mapping, so two equal
+    :class:`~repro.faults.profiles.FaultProfile`\\ s — however they were
+    built — produce the same key.  Anything else falls back to the digest
+    of its pinned-protocol pickle, which is stable for the scenario and
+    catalogue objects that ride in shard kwargs.
+    """
+    out: list[bytes] = []
+    _canonical_into(obj, out)
+    return b"".join(out)
+
+
+def _canonical_into(obj: Any, out: list[bytes]) -> None:
+    if obj is None or isinstance(obj, bool):
+        out.append(repr(obj).encode())
+    elif isinstance(obj, int):
+        out.append(b"i%d" % obj)
+    elif isinstance(obj, float):
+        out.append(b"f" + repr(obj).encode())
+    elif isinstance(obj, str):
+        out.append(b"s" + obj.encode("utf-8") + b"\x00")
+    elif isinstance(obj, bytes):
+        out.append(b"b" + obj + b"\x00")
+    elif isinstance(obj, (list, tuple)):
+        out.append(b"[")
+        for item in obj:
+            _canonical_into(item, out)
+            out.append(b",")
+        out.append(b"]")
+    elif isinstance(obj, dict):
+        out.append(b"{")
+        for key in sorted(obj, key=str):
+            _canonical_into(str(key), out)
+            out.append(b":")
+            _canonical_into(obj[key], out)
+            out.append(b",")
+        out.append(b"}")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        out.append(b"d" + qualified_name(type(obj)).encode() + b"(")
+        for f in fields(obj):
+            _canonical_into(f.name, out)
+            out.append(b"=")
+            _canonical_into(getattr(obj, f.name), out)
+            out.append(b",")
+        out.append(b")")
+    else:
+        blob = pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+        out.append(b"p" + hashlib.blake2b(blob, digest_size=16).digest())
+
+
+def digest(*parts: bytes) -> str:
+    """BLAKE2b-128 hex digest over length-prefixed parts (no ambiguity)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"repro-cache/%d" % KEY_SCHEMA)
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.hexdigest()
+
+
+def code_fingerprint(package_root: Path | None = None) -> str:
+    """Digest of every ``.py`` file under ``src/repro`` (path + contents).
+
+    Computed once per process per root — the tree is small (~70 files) but
+    campaigns consult the cache per shard.  Any byte of source drift gives
+    a new fingerprint, which marks every existing entry stale.
+    """
+    root = (package_root or Path(__file__).resolve().parent.parent).resolve()
+    cached = _fingerprint_cache.get(root)
+    if cached is not None:
+        return cached
+    h = hashlib.blake2b(digest_size=16)
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x01")
+    fingerprint = h.hexdigest()
+    _fingerprint_cache[root] = fingerprint
+    return fingerprint

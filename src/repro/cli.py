@@ -38,7 +38,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from .experiments.table1 import render_table1, run_table1
 
     labels = args.labels.split(",") if args.labels else None
-    rows = run_table1(labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs)
+    rows = run_table1(
+        labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs,
+        cache=args.cache,
+    )
     print(render_table1(rows))
     return 0 if all(r.matches_expectation() for r in rows) else 1
 
@@ -47,7 +50,10 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from .experiments.table2 import render_table2, run_table2
 
     labels = args.labels.split(",") if args.labels else None
-    rows = run_table2(labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs)
+    rows = run_table2(
+        labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs,
+        cache=args.cache,
+    )
     print(render_table2(rows))
     return 0 if all(r.matches_expectation for r in rows) else 1
 
@@ -76,7 +82,8 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
     faults = getattr(args, "faults", None)
     rows = run_table3(
-        seed=args.seed, jobs=args.jobs, faults=faults, check_invariants=bool(faults)
+        seed=args.seed, jobs=args.jobs, faults=faults,
+        check_invariants=bool(faults), cache=args.cache,
     )
     print(render_table3(rows))
     summary = _table3_faults_summary(rows)
@@ -90,7 +97,8 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
     faults = getattr(args, "faults", None)
     rows = run_figure3(
-        seed=args.seed, jobs=args.jobs, faults=faults, check_invariants=bool(faults)
+        seed=args.seed, jobs=args.jobs, faults=faults,
+        check_invariants=bool(faults), cache=args.cache,
     )
     print(render_table3(rows, title="Figure 3 — the four illustrated attacks"))
     summary = _table3_faults_summary(rows)
@@ -102,7 +110,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from .experiments.robustness import render_robustness, run_robustness
 
-    rows = run_robustness(seed=args.seed, jobs=args.jobs)
+    rows = run_robustness(seed=args.seed, jobs=args.jobs, cache=args.cache)
     print(render_robustness(rows))
     return 0 if all(r.success and r.violations == 0 for r in rows) else 1
 
@@ -110,7 +118,9 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .experiments.verification import render_verification, run_verification
 
-    rows = run_verification(trials=args.trials, seed=args.seed, jobs=args.jobs)
+    rows = run_verification(
+        trials=args.trials, seed=args.seed, jobs=args.jobs, cache=args.cache
+    )
     print(render_verification(rows))
     return 0 if all(r.success_rate == 1.0 for r in rows) else 1
 
@@ -143,9 +153,9 @@ def _cmd_countermeasures(args: argparse.Namespace) -> int:
 
     print(
         render_countermeasures(
-            run_ack_timeout_sweep(seed=args.seed, jobs=args.jobs),
-            run_keepalive_cost_curve(seed=args.seed, jobs=args.jobs),
-            run_timestamp_defense(seed=args.seed, jobs=args.jobs),
+            run_ack_timeout_sweep(seed=args.seed, jobs=args.jobs, cache=args.cache),
+            run_keepalive_cost_curve(seed=args.seed, jobs=args.jobs, cache=args.cache),
+            run_timestamp_defense(seed=args.seed, jobs=args.jobs, cache=args.cache),
             run_delay_detection(seed=args.seed),
             run_static_arp_defense(seed=args.seed),
             run_remediation_experiment(seed=args.seed),
@@ -291,6 +301,44 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect, verify, or prune the content-addressed campaign cache."""
+    from .cache import CampaignCache
+
+    cache = CampaignCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        table = TextTable(["Field", "Value"], title="Campaign cache")
+        table.add_row("root", stats["root"])
+        table.add_row("code fingerprint", stats["fingerprint"])
+        table.add_row("entries", stats["entries"])
+        table.add_row("fresh", stats["fresh"])
+        table.add_row("stale (code changed)", stats["stale"])
+        table.add_row("corrupt", stats["corrupt"])
+        table.add_row("size", f"{stats['bytes'] / 1024:.1f} KiB")
+        table.add_row("replayable wall time", f"{stats['replayable_seconds']:.1f}s")
+        if stats["oldest"]:
+            table.add_row("oldest entry", stats["oldest"])
+            table.add_row("newest entry", stats["newest"])
+        print(table.render())
+        return 0
+    if args.action == "verify":
+        outcomes = cache.verify(sample=args.sample)
+        if not outcomes:
+            print("cache is empty; nothing to verify")
+            return 0
+        for out in outcomes:
+            status = "ok" if out.ok else "MISMATCH"
+            print(f"{status}  {out.fn}  {out.shard_key}  {out.detail}")
+        return 0 if all(o.ok for o in outcomes) else 1
+    if args.action == "gc":
+        removed, kept = cache.gc(everything=args.all)
+        what = "entries" if args.all else "stale/corrupt entries"
+        print(f"removed {removed} {what}, kept {kept}")
+        return 0
+    raise AssertionError(f"unknown cache action {args.action!r}")
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     status = 0
     for runner in (
@@ -335,6 +383,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'loss=0.05,jitter=0.01' (table3/figure3 only)"
         ),
     )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "reuse content-addressed shard results from "
+            "$REPRO_CACHE_DIR (default ~/.cache/repro-phantom-delay); "
+            "--no-cache forces live simulation"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, doc in (
         ("catalogue", _cmd_catalogue, "list the 50-device catalogue"),
@@ -373,6 +429,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics snapshot to this JSONL path",
     )
     observe.set_defaults(func=_cmd_observe)
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, verify, or prune the content-addressed campaign cache",
+    )
+    cache.add_argument(
+        "action", choices=["stats", "verify", "gc"],
+        help="stats: summarise entries; verify: re-run a sample and compare "
+             "digests; gc: drop stale/corrupt entries (--all drops everything)",
+    )
+    cache.add_argument(
+        "--sample", type=int, default=3, metavar="N",
+        help="how many fresh entries `verify` re-runs (default 3)",
+    )
+    cache.add_argument(
+        "--all", action="store_true",
+        help="`gc` removes every entry, not just stale/corrupt ones",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -16,6 +16,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..analysis.reporting import TextTable, fmt_window
 from ..core.attacker import PhantomDelayAttacker
@@ -82,10 +83,12 @@ def _forged_ack_case(forge: bool, hold_for: float, seed: int) -> ForgedAckRow:
 
 
 def run_forged_ack_ablation(
-    seed: int = 71, hold_for: float = 25.0, jobs: int | None = 1
+    seed: int = 71, hold_for: float = 25.0, jobs: int | None = 1, cache: Any = None
 ) -> list[ForgedAckRow]:
     """The same 25 s event delay with and without ACK forging."""
-    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="ablation-forged-ack")
+    runner = CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="ablation-forged-ack", cache=cache
+    )
     return runner.run(
         [
             Shard(
@@ -150,9 +153,12 @@ def run_margin_sweep(
     trials: int = 4,
     seed: int = 73,
     jobs: int | None = 1,
+    cache: Any = None,
 ) -> list[MarginRow]:
     """Avoidance rate and achieved delay as the release margin varies."""
-    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="ablation-margin")
+    runner = CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="ablation-margin", cache=cache
+    )
     return runner.run(
         [
             Shard(

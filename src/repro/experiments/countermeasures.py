@@ -15,6 +15,7 @@ stopped, exactly as the paper argues.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..analysis.reporting import TextTable, fmt_window
 from ..core.attacker import PhantomDelayAttacker
@@ -89,9 +90,12 @@ def run_ack_timeout_sweep(
     timeouts: tuple[float | None, ...] = (None, 30.0, 20.0, 10.0, 5.0),
     seed: int = 41,
     jobs: int | None = 1,
+    cache: Any = None,
 ) -> list[AckTimeoutRow]:
     """Measured attack window against progressively hardened profiles."""
-    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="cm-ack-timeout")
+    runner = CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="cm-ack-timeout", cache=cache
+    )
     return runner.run(
         [
             Shard(
@@ -134,6 +138,7 @@ def run_keepalive_cost_curve(
     measure_periods: tuple[float, ...] = (30.0, 2.0),
     seed: int = 43,
     jobs: int | None = 1,
+    cache: Any = None,
 ) -> list[TrafficRow]:
     """Window-vs-traffic trade-off for shortened keep-alive intervals."""
     profile = CATALOGUE.get(label, TABLE_CLOUD)
@@ -142,7 +147,9 @@ def run_keepalive_cost_curve(
         for period, window, rate in sweep_keepalive_period(profile, list(periods))
     ]
     to_measure = [row for row in rows if row.ka_period in measure_periods]
-    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="cm-keepalive-cost")
+    runner = CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="cm-keepalive-cost", cache=cache
+    )
     measured = runner.run(
         [
             Shard(
@@ -211,10 +218,14 @@ def _timestamp_case(shape: str, window: float | None, seed: int) -> TimestampDef
     raise ValueError(f"unknown timestamp-defence shape: {shape!r}")
 
 
-def run_timestamp_defense(seed: int = 47, jobs: int | None = 1) -> list[TimestampDefenseRow]:
+def run_timestamp_defense(
+    seed: int = 47, jobs: int | None = 1, cache: Any = None
+) -> list[TimestampDefenseRow]:
     """Re-run three attack shapes with and without timestamp checking."""
     shapes = ("delayed-trigger", "delayed-condition", "state-update")
-    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="cm-timestamp")
+    runner = CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="cm-timestamp", cache=cache
+    )
     return runner.run(
         [
             Shard(

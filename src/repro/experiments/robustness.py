@@ -83,6 +83,7 @@ def run_robustness(
     scenarios: list[Scenario] | None = None,
     jobs: int | None = 1,
     runner: CampaignRunner | None = None,
+    cache: Any = None,
 ) -> list[CellResult]:
     """Sweep the grid; deterministic for a seed regardless of ``jobs``."""
     cases = list(scenarios or TABLE3_SCENARIOS)
@@ -97,7 +98,9 @@ def run_robustness(
         for jitter in jitter_grid
         for sc in cases
     ]
-    runner = runner or CampaignRunner(jobs=jobs, base_seed=seed, campaign="robustness")
+    runner = runner or CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="robustness", cache=cache
+    )
     return runner.run(shards)
 
 

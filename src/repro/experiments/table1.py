@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..analysis.reporting import TextTable, fmt_seconds, fmt_window
 from ..core.attacker import PhantomDelayAttacker
@@ -146,13 +147,16 @@ def run_table1(
     catalogue: Catalogue | None = None,
     jobs: int | None = 1,
     runner: CampaignRunner | None = None,
+    cache: Any = None,
 ) -> list[MeasuredRow]:
     """Profile every (requested) cloud device; defaults to the full table.
 
     Each label is one shard; ``jobs`` (None = auto) fans them out across
     worker processes.  Per-label seeds are fixed (``seed + index``) and
     results merge in label order, so the rows — and the rendered table —
-    are identical for every ``jobs`` value.
+    are identical for every ``jobs`` value.  ``cache`` (True, or a
+    :class:`~repro.cache.CampaignCache`) reuses content-addressed results
+    from previous runs.
     """
     catalogue = catalogue or CATALOGUE
     if labels is None:
@@ -172,7 +176,9 @@ def run_table1(
         )
         for i, label in enumerate(labels)
     ]
-    runner = runner or CampaignRunner(jobs=jobs, base_seed=seed, campaign="table1")
+    runner = runner or CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="table1", cache=cache
+    )
     return runner.run(shards)
 
 

@@ -11,6 +11,7 @@ report.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..analysis.reporting import TextTable, fmt_seconds, fmt_window
 from ..core.attacker import PhantomDelayAttacker
@@ -78,6 +79,7 @@ def run_table2(
     catalogue: Catalogue | None = None,
     jobs: int | None = 1,
     runner: CampaignRunner | None = None,
+    cache: Any = None,
 ) -> list[LocalMeasuredRow]:
     """One shard per HomeKit label; seeds and row order match a serial run."""
     catalogue = catalogue or CATALOGUE
@@ -96,7 +98,9 @@ def run_table2(
         )
         for i, label in enumerate(labels)
     ]
-    runner = runner or CampaignRunner(jobs=jobs, base_seed=seed, campaign="table2")
+    runner = runner or CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="table2", cache=cache
+    )
     return runner.run(shards)
 
 

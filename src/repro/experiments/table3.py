@@ -97,11 +97,14 @@ def run_table3(
     runner: CampaignRunner | None = None,
     faults: Any = None,
     check_invariants: bool = False,
+    cache: Any = None,
 ) -> list[CaseRow]:
     """One shard per case; every case keeps the campaign seed, as before.
 
     ``faults`` (profile or spec string) runs every case on an impaired LAN;
-    ``check_invariants`` audits each run with the cross-layer suite.
+    ``check_invariants`` audits each run with the cross-layer suite;
+    ``cache`` reuses content-addressed shard results (the faults spec is
+    part of the key, so impaired and clean runs never mix).
     """
     cases = list(scenarios or TABLE3_SCENARIOS)
     shards = [
@@ -117,7 +120,9 @@ def run_table3(
         )
         for scenario in cases
     ]
-    runner = runner or CampaignRunner(jobs=jobs, base_seed=seed, campaign="table3")
+    runner = runner or CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="table3", cache=cache
+    )
     return runner.run(shards)
 
 
@@ -126,6 +131,7 @@ def run_figure3(
     jobs: int | None = 1,
     faults: Any = None,
     check_invariants: bool = False,
+    cache: Any = None,
 ) -> list[CaseRow]:
     return run_table3(
         seed=seed,
@@ -133,6 +139,7 @@ def run_figure3(
         jobs=jobs,
         faults=faults,
         check_invariants=check_invariants,
+        cache=cache,
     )
 
 

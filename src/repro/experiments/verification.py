@@ -15,6 +15,7 @@ after the hold, (b) the hold ended by our own scheduled release, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..analysis.reporting import TextTable
 from ..core.attacker import PhantomDelayAttacker
@@ -119,6 +120,7 @@ def run_verification(
     seed: int = 31,
     catalogue: Catalogue | None = None,
     jobs: int | None = 1,
+    cache: Any = None,
 ) -> list[VerificationRow]:
     shards = [
         Shard(
@@ -129,7 +131,9 @@ def run_verification(
         )
         for i, label in enumerate(labels)
     ]
-    runner = CampaignRunner(jobs=jobs, base_seed=seed, campaign="verification")
+    runner = CampaignRunner(
+        jobs=jobs, base_seed=seed, campaign="verification", cache=cache
+    )
     return runner.run(shards)
 
 

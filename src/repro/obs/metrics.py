@@ -16,8 +16,11 @@ structured event records rather than live state).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
+import os
+import tempfile
 from typing import Any, Iterable
 
 #: Canonical identity of one metric: (component, name, sorted label pairs).
@@ -123,14 +126,20 @@ class StreamingHistogram:
             raise ValueError(f"quantile out of range: {q}")
         rank = q * (self.count - 1) + 1  # 1-based rank, nearest-rank style
         if rank <= self.zero_count:
-            return 0.0
+            return self._clamp(0.0)
         seen = self.zero_count
         for idx in sorted(self.buckets):
             seen += self.buckets[idx]
             if seen >= rank:
                 lo = self.growth ** idx
-                return lo * math.sqrt(self.growth)  # geometric bucket midpoint
+                # Geometric bucket midpoint, clamped: the midpoint of the
+                # min or max observation's bucket can fall outside the
+                # observed range, and a quantile must never do that.
+                return self._clamp(lo * math.sqrt(self.growth))
         return self.max
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min), self.max)
 
     @property
     def mean(self) -> float:
@@ -258,10 +267,24 @@ class MetricsRegistry:
         return out
 
     def export_jsonl(self, path: str) -> int:
-        """Write a snapshot as JSON lines; returns the record count."""
+        """Write a snapshot as JSON lines, atomically; returns the count.
+
+        Serialisation happens before the destination is touched and the
+        blob lands via a same-directory temp file + ``os.replace``, so a
+        crash mid-export never truncates an existing snapshot.
+        """
         records = self.snapshot()
-        with open(path, "w") as fh:
-            fh.write("".join(json.dumps(r) + "\n" for r in records))
+        blob = "".join(json.dumps(r) + "\n" for r in records)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".metrics-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
         return len(records)
 
     @classmethod

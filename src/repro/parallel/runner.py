@@ -24,10 +24,21 @@ A shard whose future fails for infrastructure reasons (broken pool,
 unpicklable result) is transparently re-run in-process; genuine errors
 re-raise there with their original traceback.
 
+With a :class:`~repro.cache.CampaignCache` attached, every shard is first
+looked up by its content address — fully-qualified function, canonical
+kwargs, resolved seed, and the source-tree fingerprint — and hits skip
+process dispatch entirely: a warm campaign is file reads plus rendering,
+byte-identical to the cold run for every ``jobs`` value.
+
 Progress is surfaced through a :class:`~repro.obs.metrics.MetricsRegistry`
-(the ``parallel`` component): shard counts, in-flight gauge, and a
-per-shard wall-time histogram, so ``CampaignRunner.render_progress()``
-drops straight into the existing observability tooling.
+(the ``parallel`` component): shard counts, cache hit/miss/stale counts,
+in-flight gauge, and a per-shard wall-time histogram, so
+``CampaignRunner.render_progress()`` drops straight into the existing
+observability tooling.  The counters keep one shard one booking:
+``shards_completed`` counts each shard exactly once per run (cache hit,
+pool completion, serial run, or failure replay), ``shards_run_inprocess``
+counts only the no-pool path, and ``shards_replayed`` counts pool-failure
+replays — so ``completed == total`` always holds after a healed run.
 """
 
 from __future__ import annotations
@@ -37,10 +48,13 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..obs.metrics import MetricsRegistry
 from .seeds import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache import CacheKey, CampaignCache
 
 #: ``--jobs`` defaults to the CPU count but never above this: the shards
 #: are CPU-bound simulations, and a wall of workers on a big host mostly
@@ -71,7 +85,13 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
         if env:
-            jobs = int(env)
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer worker count, got {env!r} "
+                    "(unset it or use e.g. REPRO_JOBS=4)"
+                ) from None
         else:
             jobs = min(os.cpu_count() or 1, JOBS_CAP)
     if jobs < 1:
@@ -125,12 +145,21 @@ class CampaignRunner:
         base_seed: int = 0,
         registry: MetricsRegistry | None = None,
         campaign: str = "campaign",
+        cache: "CampaignCache | bool | None" = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.base_seed = base_seed
         self.campaign = campaign
         self.registry = registry if registry is not None else MetricsRegistry()
         self.last_wall_seconds = 0.0
+        if cache:
+            # Lazy import: repro.cache pulls in repro.parallel.seeds, so a
+            # module-level import here would be circular.
+            from ..cache import resolve_cache
+
+            self.cache = resolve_cache(cache)
+        else:
+            self.cache = None
         self._total = self.registry.counter("parallel", "shards_total", campaign=campaign)
         self._completed = self.registry.counter(
             "parallel", "shards_completed", campaign=campaign
@@ -139,6 +168,14 @@ class CampaignRunner:
         self._inproc = self.registry.counter(
             "parallel", "shards_run_inprocess", campaign=campaign
         )
+        self._replayed = self.registry.counter(
+            "parallel", "shards_replayed", campaign=campaign
+        )
+        self._cache_hits = self.registry.counter("parallel", "cache_hits", campaign=campaign)
+        self._cache_misses = self.registry.counter(
+            "parallel", "cache_misses", campaign=campaign
+        )
+        self._cache_stale = self.registry.counter("parallel", "cache_stale", campaign=campaign)
         self._in_flight = self.registry.gauge("parallel", "shards_in_flight", campaign=campaign)
         self._shard_seconds = self.registry.histogram(
             "parallel", "shard_seconds", campaign=campaign
@@ -147,36 +184,101 @@ class CampaignRunner:
     # ------------------------------------------------------------ execution
 
     def run(self, shards: Sequence[Shard]) -> list[Any]:
-        """Execute every shard; results come back in ``shards`` order."""
+        """Execute every shard; results come back in ``shards`` order.
+
+        With a cache attached the run is hybrid: hits are filled from disk
+        without touching a worker, and only the misses (plus entries made
+        stale by a source change) are dispatched and then stored.
+        """
         shards = list(shards)
         self._total.inc(len(shards))
         start = time.perf_counter()
         try:
             if not shards:
                 return []
-            workers = min(self.jobs, len(shards))
-            if workers <= 1 or not fork_available():
-                return [self._run_inprocess(shard) for shard in shards]
-            return self._run_pool(shards, workers)
+            results: list[Any] = [None] * len(shards)
+            keys: list["CacheKey | None"] = [None] * len(shards)
+            pending = self._fill_from_cache(shards, results, keys)
+            if pending:
+                workers = min(self.jobs, len(pending))
+                if workers <= 1 or not fork_available():
+                    outcomes = [
+                        (index, *self._run_serial(shards[index])) for index in pending
+                    ]
+                else:
+                    outcomes = self._run_pool(shards, pending, workers)
+                for index, result, elapsed in outcomes:
+                    results[index] = result
+                    self._store(shards[index], keys[index], result, elapsed)
+            return results
         finally:
             self.last_wall_seconds = time.perf_counter() - start
 
-    def _run_inprocess(self, shard: Shard) -> Any:
+    def _fill_from_cache(
+        self,
+        shards: list[Shard],
+        results: list[Any],
+        keys: list["CacheKey | None"],
+    ) -> list[int]:
+        """Populate ``results`` with hits; return the indices still to run."""
+        if self.cache is None:
+            return list(range(len(shards)))
+        pending: list[int] = []
+        for index, shard in enumerate(shards):
+            key = self.cache.key_for(shard, self.base_seed)
+            keys[index] = key
+            lookup = self.cache.get(key)
+            if lookup.hit:
+                self._cache_hits.inc()
+                self._completed.inc()
+                results[index] = lookup.result
+            else:
+                (self._cache_stale if lookup.stale else self._cache_misses).inc()
+                pending.append(index)
+        return pending
+
+    def _store(self, shard: Shard, key: "CacheKey | None", result: Any,
+               elapsed: float) -> None:
+        if self.cache is None or key is None:
+            return
+        kwargs = dict(shard.kwargs)
+        if shard.pass_seed:
+            kwargs["seed"] = key.seed
+        self.cache.put(key, result, wall_seconds=elapsed, call=(shard.fn, kwargs))
+
+    def _run_serial(self, shard: Shard) -> tuple[Any, float]:
+        """The no-pool path: ``jobs=1``, a single pending shard, or no fork."""
         result, elapsed = _run_shard(shard, self.base_seed)
         self._inproc.inc()
         self._completed.inc()
         self._shard_seconds.observe(elapsed)
-        return result
+        return result, elapsed
 
-    def _run_pool(self, shards: list[Shard], workers: int) -> list[Any]:
-        results: list[Any] = [None] * len(shards)
+    def _replay(self, shard: Shard) -> tuple[Any, float]:
+        """In-process replay of a shard whose pool future failed.
+
+        Books the shard exactly once: it counts as completed (it did
+        complete — here) and as replayed, but never as a pool completion
+        or an in-process run on top, so ``shards_completed`` can never
+        exceed ``shards_total``.
+        """
+        result, elapsed = _run_shard(shard, self.base_seed)
+        self._replayed.inc()
+        self._completed.inc()
+        self._shard_seconds.observe(elapsed)
+        return result, elapsed
+
+    def _run_pool(
+        self, shards: list[Shard], pending: list[int], workers: int
+    ) -> list[tuple[int, Any, float]]:
+        outcomes: list[tuple[int, Any, float]] = []
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=ctx, initializer=_warm_up
         ) as pool:
             futures = {}
-            for index, shard in enumerate(shards):
-                futures[pool.submit(_run_shard, shard, self.base_seed)] = index
+            for index in pending:
+                futures[pool.submit(_run_shard, shards[index], self.base_seed)] = index
                 self._in_flight.inc()
             for future in as_completed(futures):
                 index = futures[future]
@@ -190,13 +292,12 @@ class CampaignRunner:
                     # re-raises the shard's genuine error with a usable
                     # traceback.
                     self._failed.inc()
-                    result = self._run_inprocess(shards[index])
-                    results[index] = result
-                    continue
-                self._completed.inc()
-                self._shard_seconds.observe(elapsed)
-                results[index] = result
-        return results
+                    result, elapsed = self._replay(shards[index])
+                else:
+                    self._completed.inc()
+                    self._shard_seconds.observe(elapsed)
+                outcomes.append((index, result, elapsed))
+        return outcomes
 
     # ------------------------------------------------------------- progress
 
@@ -210,8 +311,15 @@ class CampaignRunner:
 
     def summary(self) -> str:
         """One-line account of the last ``run()`` for log output."""
-        return (
+        line = (
             f"{self.campaign}: {self.completed} shard(s) via "
             f"{min(self.jobs, max(self.completed, 1))} worker(s) in "
             f"{self.last_wall_seconds:.2f}s wall"
         )
+        if self.cache is not None:
+            line += (
+                f" (cache: {int(self._cache_hits.value)} hit(s), "
+                f"{int(self._cache_misses.value)} miss(es), "
+                f"{int(self._cache_stale.value)} stale)"
+            )
+        return line

@@ -226,8 +226,9 @@ class Simulator:
         This is the simulator's hot loop: pop, advance, and fire are fused
         into one heap scan (``peek()`` followed by ``step()`` would walk past
         cancelled timers twice), and the queue/clock/heappop lookups are
-        hoisted out of the loop.  ``self._observer`` is deliberately re-read
-        each iteration so a callback installing a profiler mid-run takes
+        hoisted out of the loop.  ``self._observer`` and ``_tally_after``
+        are deliberately re-read after each callback so a callback
+        installing a profiler or tightening ``max_events`` mid-run takes
         effect immediately.
         """
         queue = self._queue
@@ -251,6 +252,7 @@ class Simulator:
             if observer is not None:
                 observer.timer_fired(timer, when, len(queue))
             timer.callback(*timer.args)
+            tally_after = self._tally_after
         if deadline > clock.now:
             advance(deadline)
 

@@ -92,6 +92,9 @@ class SmartHomeTestbed:
         )
         self.fault_injector: FaultInjector | None = None
         profile = resolve_profile(faults)
+        #: The resolved profile (kept even when ideal, i.e. no injector):
+        #: campaign caching keys on it, so it must be inspectable.
+        self.fault_profile = profile
         if profile is not None and profile.impaired:
             self.fault_injector = FaultInjector(self.sim, profile, seed=seed).attach(
                 self.lan
@@ -288,4 +291,5 @@ class SmartHomeTestbed:
             "endpoints": sorted(self.endpoints),
             "alarms": self.alarms.summary(),
             "notifications": len(self.notifier.notifications),
+            "faults": self.fault_profile.name if self.fault_profile else None,
         }

@@ -17,6 +17,16 @@ from repro.tcp.stack import TcpStack
 from repro.tls.session import KeyEscrow
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep every test's campaign cache away from ``~/.cache``.
+
+    CLI invocations default the cache on, so without this a test run
+    would both pollute and be poisoned by the developer's real cache.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator(seed=1234)

@@ -277,6 +277,22 @@ class TestEventBudget:
         sim.run(10.0)
         assert sim.events_processed == 3
 
+    def test_budget_tightened_mid_run_takes_effect(self, sim):
+        # Regression: run_until hoisted _tally_after into a local, so a
+        # callback tightening max_events mid-run was ignored until the
+        # *next* run_until call — the budget check ran against the stale
+        # pre-tightening threshold.
+        def tighten():
+            sim.max_events = sim.events_processed + 2
+
+        sim.schedule(1.0, tighten, label="tighten")
+        for i in range(10):
+            sim.schedule(2.0 + i, lambda: None, label="bulk")
+        with pytest.raises(RuntimeError, match="event budget"):
+            sim.run_until(50.0)
+        # The tightened budget stopped the run well before the queue drained.
+        assert sim.events_processed <= 4
+
 
 class TestDeterminism:
     def test_same_seed_same_rng_stream(self):

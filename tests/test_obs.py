@@ -68,6 +68,32 @@ class TestStreamingHistogram:
     def test_empty_histogram_quantile_is_zero(self):
         assert self._hist().quantile(0.5) == 0.0
 
+    def test_quantile_never_exceeds_observed_max(self):
+        # Regression: the geometric midpoint of the max observation's
+        # bucket can exceed the max itself.  With growth 1.05, bucket 40
+        # spans [7.040, 7.392) with midpoint 7.213 — so a single 7.05
+        # observation used to report p99 ≈ 7.213 > max.
+        hist = self._hist()
+        hist.observe(7.05)
+        assert hist.quantile(0.99) <= hist.max
+        assert hist.quantile(0.99) == pytest.approx(7.05)
+
+    def test_quantile_never_undercuts_observed_min(self):
+        # The mirror case: 7.39 sits at the top of the same bucket, so the
+        # midpoint 7.213 used to fall below the minimum.
+        hist = self._hist()
+        hist.observe(7.39)
+        assert hist.quantile(0.0) >= hist.min
+        assert hist.quantile(0.0) == pytest.approx(7.39)
+
+    def test_quantiles_stay_inside_range_for_random_streams(self):
+        rng = random.Random(11)
+        hist = self._hist()
+        for _ in range(500):
+            hist.observe(rng.lognormvariate(0.0, 3.0))
+            for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+                assert hist.min <= hist.quantile(q) <= hist.max
+
     def test_memory_is_bounded_by_buckets_not_samples(self):
         hist = self._hist()
         rng = random.Random(7)
@@ -143,6 +169,27 @@ class TestJsonlRoundTrip:
             assert h2.quantile(q) == hist.quantile(q)
         # The whole snapshot is identical after the round trip.
         assert loaded.snapshot() == reg.snapshot()
+
+    def test_export_is_atomic_against_serialisation_crash(self, tmp_path, monkeypatch):
+        # Regression: export used to open(path, "w") before serialising, so
+        # a crash mid-serialisation truncated an existing good snapshot.
+        import repro.obs.metrics as metrics_mod
+
+        reg = MetricsRegistry()
+        reg.counter("tcp", "retransmissions").inc(7)
+        path = tmp_path / "metrics.jsonl"
+        reg.export_jsonl(str(path))
+        good = path.read_bytes()
+        assert good
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("unserialisable metric")
+
+        monkeypatch.setattr(metrics_mod.json, "dumps", boom)
+        with pytest.raises(RuntimeError, match="unserialisable"):
+            reg.export_jsonl(str(path))
+        assert path.read_bytes() == good  # previous snapshot untouched
+        assert not list(tmp_path.glob(".metrics-*"))  # temp file cleaned up
 
     def test_render_table_lists_every_series(self):
         reg = MetricsRegistry()

@@ -72,6 +72,13 @@ class TestResolveJobs:
         with pytest.raises(ValueError):
             resolve_jobs(0)
 
+    def test_non_integer_env_gets_actionable_error(self, monkeypatch):
+        # A bare int() ValueError ("invalid literal...") never mentioned the
+        # variable; the message must say what to fix.
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS.*'many'"):
+            resolve_jobs(None)
+
 
 # Shard functions must be module-level so worker processes can unpickle
 # them by qualified name.
@@ -90,6 +97,12 @@ def _no_seed_shard(value: int) -> int:
 
 def _failing_shard(seed: int) -> None:
     raise ValueError(f"shard blew up (seed={seed})")
+
+
+def _unpicklable_result(seed: int):
+    # Completes fine in the worker, but the result cannot cross the process
+    # boundary — the classic infrastructure failure the replay path heals.
+    return lambda: seed
 
 
 class TestCampaignRunner:
@@ -154,6 +167,36 @@ class TestCampaignRunner:
                   for i in range(3)]
         assert [name for name, _ in runner.run(shards)] == ["r0", "r1", "r2"]
         assert registry.value("parallel", "shards_run_inprocess", campaign="fallback") == 3
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_replayed_shard_books_exactly_once(self):
+        # Regression: a pool failure that is healed by the in-process replay
+        # must count the shard once — as replayed — not once in the pool
+        # *and* once in-process, or completed drifts past total.
+        registry = MetricsRegistry()
+        runner = CampaignRunner(jobs=2, registry=registry, campaign="replay")
+        shards = [
+            Shard(key="ok", fn=_echo_shard, kwargs={"name": "fine"}),
+            Shard(key="bad", fn=_unpicklable_result),
+        ]
+        results = runner.run(shards)
+        assert results[0] == ("fine", derive_seed(0, "ok"))
+        assert callable(results[1])  # healed: the replay ran in-process
+
+        def value(name: str) -> float:
+            return registry.value("parallel", name, campaign="replay")
+
+        assert value("shards_total") == 2
+        assert value("shards_completed") == 2
+        assert value("shards_replayed") == 1
+        assert value("shard_failures") == 1
+        assert value("shards_run_inprocess") == 0
+        # The consistency invariant the counters must always satisfy:
+        # every completion is exactly one of pool / serial / replay / hit.
+        pool_completions = value("shards_completed") - value(
+            "shards_run_inprocess") - value("shards_replayed")
+        assert pool_completions == 1
+        assert value("shards_in_flight") == 0
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
     def test_failing_shard_reraises_with_original_error(self):
