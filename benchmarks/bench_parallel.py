@@ -18,7 +18,7 @@ import time
 from repro.experiments.table1 import render_table1, run_table1
 from repro.parallel import fork_available
 
-from _perf import record_bench
+from _perf import baseline_matches, check_regression, record_bench
 from conftest import bench_jobs, bench_trials
 
 #: A representative Table I slice: two SmartThings hubs, a Ring camera, a
@@ -57,3 +57,11 @@ def test_table1_parallel_campaign(once):
     print(render_table1(parallel_rows))
     print(f"serial {serial_s:.2f}s vs jobs={jobs} {parallel_s:.2f}s "
           f"({speedup:.2f}x) -> {entry}")
+    # Wall clocks are hardware-bound, so the gate is generous — fail only
+    # when the serial campaign takes 3x the committed baseline (the shape
+    # of regression a telemetry-capture bug in the shard wrapper causes) —
+    # and only comparing like workloads: REPRO_BENCH_TRIALS shrinks CI
+    # runs below what the committed baseline measured.
+    if baseline_matches("table1_parallel", trials=trials):
+        check_regression("table1_parallel", "serial_seconds", serial_s,
+                         tolerance=2.0, larger_is_better=False)

@@ -26,10 +26,11 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import telemetry
 from repro.simnet.clock import Clock
 from repro.simnet.scheduler import Simulator, Timer
 
-from _perf import record_bench
+from _perf import check_regression, record_bench
 
 
 @dataclass(order=True)
@@ -124,25 +125,53 @@ def _best_rate(make_sim, rounds: int = 3) -> tuple[int, float]:
 
 
 def test_scheduler_events_per_second():
-    events, current = _best_rate(Simulator)
     legacy_events, legacy = _best_rate(_LegacySimulator)
-    assert events == legacy_events, "both loops must fire the identical workload"
+    # Plain and captured runs interleave round by round so clock drift on a
+    # busy machine biases both the same way; the captured run keeps a
+    # telemetry capture active for the whole workload (construction + hot
+    # loop), exactly as a campaign shard wrapper runs it.
+    events = captured_events = 0
+    current = captured = 0.0
+    for _ in range(3):
+        events, elapsed = _drive(Simulator())
+        current = max(current, events / elapsed)
+        with telemetry.capture():
+            captured_events, elapsed = _drive(Simulator())
+        captured = max(captured, captured_events / elapsed)
+    assert events == legacy_events == captured_events, (
+        "all loops must fire the identical workload"
+    )
     speedup = current / legacy
+    overhead = 1.0 - captured / current
     entry = record_bench(
         "scheduler_microbench",
         events=events,
         events_per_sec=round(current),
+        events_per_sec_captured=round(captured),
         legacy_events_per_sec=round(legacy),
         speedup_vs_entry_dataclass=round(speedup, 3),
+        telemetry_overhead_pct=round(overhead * 100, 2),
     )
     print()
     print(
         f"scheduler: {current / 1e6:.3f} M events/s "
-        f"(legacy {legacy / 1e6:.3f} M events/s, {speedup:.2f}x) -> {entry}"
+        f"(legacy {legacy / 1e6:.3f} M events/s, {speedup:.2f}x; "
+        f"telemetry capture overhead {overhead:+.1%}) -> {entry}"
     )
-    # The tuple-node fused loop must beat the seed's dataclass loop by a
-    # clear margin; 1.15x is the floor the optimisation PR promised.
-    assert speedup >= 1.15, f"hot-loop regression: only {speedup:.2f}x vs legacy"
+    # Telemetry capture registers at construction time only — the
+    # acceptance bar is <5% on the hot loop.
+    assert captured >= current * 0.95, (
+        f"telemetry capture costs {overhead:.1%} of scheduler throughput"
+    )
+    # The regression gate replaces the old inline speedup assert: the
+    # absolute rates must stay within 25% of the committed baseline.  The
+    # speedup ratio compounds the noise of two measurements, so its
+    # tolerance is set to put the floor where the old inline assert was
+    # (2.08x committed * 0.55 ≈ 1.15x).
+    check_regression("scheduler_microbench", "events_per_sec", current)
+    check_regression("scheduler_microbench", "events_per_sec_captured", captured)
+    check_regression("scheduler_microbench", "speedup_vs_entry_dataclass", speedup,
+                     tolerance=0.45)
 
 
 def test_scheduler_loop_equivalence():

@@ -1,6 +1,15 @@
 """Reporting, metrics, and timeline analysis for the experiment harness."""
 
-from .reporting import TextTable, fmt_bool, fmt_seconds, fmt_window, mean, median
+from .reporting import (
+    TextTable,
+    fmt_bool,
+    fmt_seconds,
+    fmt_window,
+    mean,
+    median,
+    render_manifest,
+    render_manifest_diff,
+)
 from .timeline import (
     TimelineEntry,
     build_timeline,
@@ -21,6 +30,8 @@ __all__ = [
     "mean",
     "median",
     "ordering_violations",
+    "render_manifest",
+    "render_manifest_diff",
     "render_timeline",
     "render_timeline_from_trace",
 ]

@@ -87,3 +87,113 @@ def mean(values: Iterable[float]) -> float:
     if not data:
         raise ValueError("mean of empty sequence")
     return sum(data) / len(data)
+
+
+def render_manifest(manifest: Any) -> str:
+    """Human-readable account of one campaign run manifest.
+
+    ``manifest`` is a :class:`repro.obs.manifest.RunManifest`; imported by
+    duck type so this module keeps zero dependencies on ``repro.obs``.
+    """
+    header = manifest.header
+    out: list[str] = []
+    info = TextTable(["Field", "Value"],
+                     title=f"Campaign manifest — {header.get('campaign', '?')}")
+    for field in ("schema", "seed", "jobs", "shards", "cached_shards",
+                  "replayed_shards", "fault_profile", "cache_fingerprint",
+                  "git_describe", "wall_seconds", "created_at"):
+        value = header.get(field)
+        if value is not None:
+            info.add_row(field.replace("_", " "), value)
+    out.append(info.render())
+
+    if manifest.shards:
+        rows = TextTable(
+            ["#", "Shard", "Seed", "Cached", "Replayed", "Wall", "CPU",
+             "Peak RSS", "Events"],
+            title="Per-shard execution",
+        )
+        for row in manifest.shards:
+            rows.add_row(
+                row.index,
+                row.key,
+                "-" if row.seed is None else row.seed,
+                fmt_bool(row.cached),
+                fmt_bool(row.replayed),
+                f"{row.wall_seconds:.3f}s",
+                f"{row.cpu_seconds:.3f}s",
+                f"{row.peak_rss_kb / 1024:.1f} MiB" if row.peak_rss_kb else "-",
+                row.events or "-",
+            )
+        out.append("")
+        out.append(rows.render())
+
+    if manifest.hot_timers:
+        hot = TextTable(["Timer label", "Fires"], title="Hottest timer labels")
+        for entry in manifest.hot_timers:
+            hot.add_row(entry["label"], entry["fires"])
+        out.append("")
+        out.append(hot.render())
+
+    if manifest.attribution:
+        attr = TextTable(["Delay metric", "Count", "Mean", "Min", "Max"],
+                         title="Delay attribution summaries")
+        for entry in manifest.attribution:
+            attr.add_row(
+                entry["metric"], entry["count"], f"{entry['mean']:.2f}s",
+                f"{entry['min']:.2f}s", f"{entry['max']:.2f}s",
+            )
+        out.append("")
+        out.append(attr.render())
+
+    counters = [r for r in manifest.metrics if r.get("kind") == "counter"]
+    if counters:
+        table = TextTable(["Metric", "Value"], title="Merged counters")
+        for record in counters:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(
+                record.get("labels", {}).items()))
+            name = f"{record['component']}/{record['name']}"
+            if labels:
+                name += f"[{labels}]"
+            table.add_row(name, int(record["value"]))
+        out.append("")
+        out.append(table.render())
+    return "\n".join(out)
+
+
+def render_manifest_diff(diff: Any) -> str:
+    """Render a :class:`repro.obs.manifest.ManifestDiff` for the CLI."""
+    a, b = diff.a.header, diff.b.header
+    out = [
+        f"manifest diff: {a.get('campaign', '?')} "
+        f"(seed {a.get('seed')}, jobs {a.get('jobs')}) vs "
+        f"{b.get('campaign', '?')} (seed {b.get('seed')}, jobs {b.get('jobs')})",
+    ]
+    if diff.metric_drift:
+        table = TextTable(["Metric", "Field", "A", "B"],
+                          title=f"Metric drift ({len(diff.metric_drift)})")
+        for entry in diff.metric_drift:
+            table.add_row(entry["metric"], entry["field"],
+                          entry["a"], entry["b"])
+        out.append(table.render())
+    if diff.attribution_deltas:
+        table = TextTable(["Delay metric", "A", "B"],
+                          title=f"Attribution deltas ({len(diff.attribution_deltas)})")
+        for entry in diff.attribution_deltas:
+
+            def _fmt(side: dict | None) -> str:
+                if side is None:
+                    return "absent"
+                return (f"n={side.get('count')} mean={side.get('mean'):.2f}s "
+                        f"[{side.get('min'):.2f}s, {side.get('max'):.2f}s]")
+
+            table.add_row(entry["metric"], _fmt(entry["a"]), _fmt(entry["b"]))
+        out.append(table.render())
+    for note in diff.notes:
+        out.append(f"note: {note}")
+    out.append(
+        "result: zero drift — deterministic sections identical"
+        if diff.clean else
+        "result: DRIFT — the runs measured different campaigns"
+    )
+    return "\n".join(out)

@@ -68,6 +68,11 @@ class CacheLookup:
 
     status: str  # "hit" | "miss" | "stale"
     result: Any = None
+    #: The shard's :class:`~repro.obs.telemetry.ShardTelemetry` as captured
+    #: on the original run, so a warm campaign replays metrics
+    #: byte-identically.  ``None`` for entries written before telemetry
+    #: existed — the shard result still hits.
+    telemetry: Any = None
 
     @property
     def hit(self) -> bool:
@@ -168,11 +173,24 @@ class CampaignCache:
             # Torn write, disk damage, an unpicklable edit: a cache must
             # degrade to a re-run, never take the campaign down.
             return CacheLookup("miss")
-        return CacheLookup("hit", result)
+        telemetry = None
+        telemetry_b64 = payload.get("telemetry")
+        if telemetry_b64 is not None:
+            try:
+                telemetry = pickle.loads(base64.b64decode(telemetry_b64))
+            except Exception:
+                telemetry = None  # result is intact; telemetry degrades alone
+        return CacheLookup("hit", result, telemetry=telemetry)
 
     def put(self, key: CacheKey, result: Any, wall_seconds: float,
-            call: tuple[Callable[..., Any], dict[str, Any]] | None = None) -> None:
-        """Store one shard result atomically; replaces any stale entry."""
+            call: tuple[Callable[..., Any], dict[str, Any]] | None = None,
+            telemetry: Any = None) -> None:
+        """Store one shard result atomically; replaces any stale entry.
+
+        ``telemetry`` is the shard's deterministic
+        :class:`~repro.obs.telemetry.ShardTelemetry`; it rides in the
+        payload so warm runs replay the captured metrics exactly.
+        """
         from .. import __version__
 
         result_blob = pickle.dumps(result, protocol=PICKLE_PROTOCOL)
@@ -182,6 +200,9 @@ class CampaignCache:
         if call is not None:
             call_blob = pickle.dumps(call, protocol=PICKLE_PROTOCOL)
             payload["call"] = base64.b64encode(call_blob).decode("ascii")
+        if telemetry is not None:
+            telemetry_blob = pickle.dumps(telemetry, protocol=PICKLE_PROTOCOL)
+            payload["telemetry"] = base64.b64encode(telemetry_blob).decode("ascii")
         provenance = {
             "schema": KEY_SCHEMA,
             "logical": key.logical,

@@ -13,6 +13,33 @@ from .analysis.reporting import TextTable, fmt_window
 from .devices.profiles import CATALOGUE
 
 
+def _manifest_for(args: argparse.Namespace, multi: bool = False):
+    """The ``manifest=`` value for a campaign driver.
+
+    ``--no-manifest`` disables the artifact; ``--manifest PATH`` redirects
+    it (single-campaign commands only — commands that run several campaigns
+    keep the per-campaign default paths so they never overwrite each
+    other).
+    """
+    if getattr(args, "no_manifest", False):
+        return False
+    path = getattr(args, "manifest", None)
+    if path and not multi:
+        return path
+    return True
+
+
+def _print_manifest(args: argparse.Namespace, campaign: str,
+                    multi: bool = False) -> None:
+    """One ``manifest: <path>`` line per campaign (deterministic paths)."""
+    manifest = _manifest_for(args, multi)
+    if manifest is False:
+        return
+    from .obs.manifest import manifest_path_for
+
+    print(f"manifest: {manifest_path_for(campaign, None if manifest is True else manifest)}")
+
+
 def _cmd_catalogue(args: argparse.Namespace) -> int:
     table = TextTable(
         ["Label", "Table", "Model", "Kind", "Server", "Connection",
@@ -40,9 +67,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     labels = args.labels.split(",") if args.labels else None
     rows = run_table1(
         labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs,
-        cache=args.cache,
+        cache=args.cache, manifest=_manifest_for(args),
     )
     print(render_table1(rows))
+    _print_manifest(args, "table1")
     return 0 if all(r.matches_expectation() for r in rows) else 1
 
 
@@ -52,9 +80,10 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     labels = args.labels.split(",") if args.labels else None
     rows = run_table2(
         labels=labels, trials=args.trials, seed=args.seed, jobs=args.jobs,
-        cache=args.cache,
+        cache=args.cache, manifest=_manifest_for(args),
     )
     print(render_table2(rows))
+    _print_manifest(args, "table2")
     return 0 if all(r.matches_expectation for r in rows) else 1
 
 
@@ -84,8 +113,10 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     rows = run_table3(
         seed=args.seed, jobs=args.jobs, faults=faults,
         check_invariants=bool(faults), cache=args.cache,
+        manifest=_manifest_for(args),
     )
     print(render_table3(rows))
+    _print_manifest(args, "table3")
     summary = _table3_faults_summary(rows)
     if summary:
         print(summary)
@@ -99,8 +130,10 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
     rows = run_figure3(
         seed=args.seed, jobs=args.jobs, faults=faults,
         check_invariants=bool(faults), cache=args.cache,
+        manifest=_manifest_for(args),
     )
     print(render_table3(rows, title="Figure 3 — the four illustrated attacks"))
+    _print_manifest(args, "table3")
     summary = _table3_faults_summary(rows)
     if summary:
         print(summary)
@@ -110,8 +143,12 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from .experiments.robustness import render_robustness, run_robustness
 
-    rows = run_robustness(seed=args.seed, jobs=args.jobs, cache=args.cache)
+    rows = run_robustness(
+        seed=args.seed, jobs=args.jobs, cache=args.cache,
+        manifest=_manifest_for(args),
+    )
     print(render_robustness(rows))
+    _print_manifest(args, "robustness")
     return 0 if all(r.success and r.violations == 0 for r in rows) else 1
 
 
@@ -119,9 +156,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from .experiments.verification import render_verification, run_verification
 
     rows = run_verification(
-        trials=args.trials, seed=args.seed, jobs=args.jobs, cache=args.cache
+        trials=args.trials, seed=args.seed, jobs=args.jobs, cache=args.cache,
+        manifest=_manifest_for(args),
     )
     print(render_verification(rows))
+    _print_manifest(args, "verification")
     return 0 if all(r.success_rate == 1.0 for r in rows) else 1
 
 
@@ -151,16 +190,22 @@ def _cmd_countermeasures(args: argparse.Namespace) -> int:
         run_timestamp_defense,
     )
 
+    manifest = _manifest_for(args, multi=True)
     print(
         render_countermeasures(
-            run_ack_timeout_sweep(seed=args.seed, jobs=args.jobs, cache=args.cache),
-            run_keepalive_cost_curve(seed=args.seed, jobs=args.jobs, cache=args.cache),
-            run_timestamp_defense(seed=args.seed, jobs=args.jobs, cache=args.cache),
+            run_ack_timeout_sweep(seed=args.seed, jobs=args.jobs, cache=args.cache,
+                                  manifest=manifest),
+            run_keepalive_cost_curve(seed=args.seed, jobs=args.jobs, cache=args.cache,
+                                     manifest=manifest),
+            run_timestamp_defense(seed=args.seed, jobs=args.jobs, cache=args.cache,
+                                  manifest=manifest),
             run_delay_detection(seed=args.seed),
             run_static_arp_defense(seed=args.seed),
             run_remediation_experiment(seed=args.seed),
         )
     )
+    for campaign in ("cm-ack-timeout", "cm-keepalive-cost", "cm-timestamp"):
+        _print_manifest(args, campaign, multi=True)
     return 0
 
 
@@ -239,8 +284,51 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_observe_report(args: argparse.Namespace) -> int:
+    """Render one campaign run manifest."""
+    from .analysis.reporting import render_manifest
+    from .obs.manifest import RunManifest
+
+    if len(args.paths) != 1:
+        print("observe report takes exactly one manifest path", file=sys.stderr)
+        return 2
+    try:
+        manifest = RunManifest.load(args.paths[0])
+    except (OSError, ValueError) as exc:
+        print(f"cannot load manifest {args.paths[0]}: {exc}", file=sys.stderr)
+        return 2
+    print(render_manifest(manifest))
+    return 0
+
+
+def _cmd_observe_diff(args: argparse.Namespace) -> int:
+    """Diff two campaign manifests; exit 1 on drift."""
+    from .analysis.reporting import render_manifest_diff
+    from .obs.manifest import RunManifest, diff_manifests
+
+    if len(args.paths) != 2:
+        print("observe diff takes exactly two manifest paths", file=sys.stderr)
+        return 2
+    try:
+        loaded = [RunManifest.load(path) for path in args.paths]
+    except (OSError, ValueError) as exc:
+        print(f"cannot load manifest: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_manifests(*loaded)
+    print(render_manifest_diff(diff))
+    return 0 if diff.clean else 1
+
+
 def _cmd_observe(args: argparse.Namespace) -> int:
     """Observed e-Delay run: metrics table, span tree, delay attribution."""
+    if args.action == "report":
+        return _cmd_observe_report(args)
+    if args.action == "diff":
+        return _cmd_observe_diff(args)
+    if args.paths:
+        print(f"unexpected arguments for observe: {args.paths}", file=sys.stderr)
+        return 2
+
     from .obs import Tracer, attribute_delay, link_hold_spans, render_span_tree
 
     if args.trace:
@@ -391,6 +479,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache forces live simulation"
         ),
     )
+    parser.add_argument(
+        "--manifest", type=str, default=None, metavar="PATH",
+        help=(
+            "write the campaign run manifest to PATH instead of the default "
+            "$REPRO_MANIFEST_DIR/<campaign>.jsonl (render it later with "
+            "`observe report`)"
+        ),
+    )
+    parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="skip writing the campaign run manifest",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, doc in (
         ("catalogue", _cmd_catalogue, "list the 50-device catalogue"),
@@ -415,7 +515,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(func=fn)
     observe = sub.add_parser(
         "observe",
-        help="observed e-Delay run: metrics, span tree, delay attribution",
+        help=(
+            "observed e-Delay run (metrics, span tree, delay attribution); "
+            "or `observe report M` / `observe diff A B` over run manifests"
+        ),
+    )
+    observe.add_argument(
+        "action", nargs="?", choices=["report", "diff"], default=None,
+        help=(
+            "report: render a campaign run manifest; diff: compare two "
+            "manifests (counts, quantile drift, attribution deltas); "
+            "omitted: run the live observed demo"
+        ),
+    )
+    observe.add_argument(
+        "paths", nargs="*",
+        help="manifest path(s) for report/diff",
     )
     observe.add_argument(
         "--trace", type=str, default=None,

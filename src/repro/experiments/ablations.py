@@ -83,11 +83,13 @@ def _forged_ack_case(forge: bool, hold_for: float, seed: int) -> ForgedAckRow:
 
 
 def run_forged_ack_ablation(
-    seed: int = 71, hold_for: float = 25.0, jobs: int | None = 1, cache: Any = None
+    seed: int = 71, hold_for: float = 25.0, jobs: int | None = 1, cache: Any = None,
+    manifest: Any = True,
 ) -> list[ForgedAckRow]:
     """The same 25 s event delay with and without ACK forging."""
     runner = CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="ablation-forged-ack", cache=cache
+        jobs=jobs, base_seed=seed, campaign="ablation-forged-ack", cache=cache,
+        manifest=manifest,
     )
     return runner.run(
         [
@@ -154,10 +156,12 @@ def run_margin_sweep(
     seed: int = 73,
     jobs: int | None = 1,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[MarginRow]:
     """Avoidance rate and achieved delay as the release margin varies."""
     runner = CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="ablation-margin", cache=cache
+        jobs=jobs, base_seed=seed, campaign="ablation-margin", cache=cache,
+        manifest=manifest,
     )
     return runner.run(
         [

@@ -91,10 +91,12 @@ def run_ack_timeout_sweep(
     seed: int = 41,
     jobs: int | None = 1,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[AckTimeoutRow]:
     """Measured attack window against progressively hardened profiles."""
     runner = CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="cm-ack-timeout", cache=cache
+        jobs=jobs, base_seed=seed, campaign="cm-ack-timeout", cache=cache,
+        manifest=manifest,
     )
     return runner.run(
         [
@@ -139,6 +141,7 @@ def run_keepalive_cost_curve(
     seed: int = 43,
     jobs: int | None = 1,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[TrafficRow]:
     """Window-vs-traffic trade-off for shortened keep-alive intervals."""
     profile = CATALOGUE.get(label, TABLE_CLOUD)
@@ -148,7 +151,8 @@ def run_keepalive_cost_curve(
     ]
     to_measure = [row for row in rows if row.ka_period in measure_periods]
     runner = CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="cm-keepalive-cost", cache=cache
+        jobs=jobs, base_seed=seed, campaign="cm-keepalive-cost", cache=cache,
+        manifest=manifest,
     )
     measured = runner.run(
         [
@@ -219,12 +223,14 @@ def _timestamp_case(shape: str, window: float | None, seed: int) -> TimestampDef
 
 
 def run_timestamp_defense(
-    seed: int = 47, jobs: int | None = 1, cache: Any = None
+    seed: int = 47, jobs: int | None = 1, cache: Any = None,
+    manifest: Any = True,
 ) -> list[TimestampDefenseRow]:
     """Re-run three attack shapes with and without timestamp checking."""
     shapes = ("delayed-trigger", "delayed-condition", "state-update")
     runner = CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="cm-timestamp", cache=cache
+        jobs=jobs, base_seed=seed, campaign="cm-timestamp", cache=cache,
+        manifest=manifest,
     )
     return runner.run(
         [

@@ -84,6 +84,7 @@ def run_robustness(
     jobs: int | None = 1,
     runner: CampaignRunner | None = None,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[CellResult]:
     """Sweep the grid; deterministic for a seed regardless of ``jobs``."""
     cases = list(scenarios or TABLE3_SCENARIOS)
@@ -99,7 +100,8 @@ def run_robustness(
         for sc in cases
     ]
     runner = runner or CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="robustness", cache=cache
+        jobs=jobs, base_seed=seed, campaign="robustness", cache=cache,
+        manifest=manifest,
     )
     return runner.run(shards)
 

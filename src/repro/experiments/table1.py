@@ -148,6 +148,7 @@ def run_table1(
     jobs: int | None = 1,
     runner: CampaignRunner | None = None,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[MeasuredRow]:
     """Profile every (requested) cloud device; defaults to the full table.
 
@@ -177,7 +178,8 @@ def run_table1(
         for i, label in enumerate(labels)
     ]
     runner = runner or CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="table1", cache=cache
+        jobs=jobs, base_seed=seed, campaign="table1", cache=cache,
+        manifest=manifest,
     )
     return runner.run(shards)
 

@@ -80,6 +80,7 @@ def run_table2(
     jobs: int | None = 1,
     runner: CampaignRunner | None = None,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[LocalMeasuredRow]:
     """One shard per HomeKit label; seeds and row order match a serial run."""
     catalogue = catalogue or CATALOGUE
@@ -99,7 +100,8 @@ def run_table2(
         for i, label in enumerate(labels)
     ]
     runner = runner or CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="table2", cache=cache
+        jobs=jobs, base_seed=seed, campaign="table2", cache=cache,
+        manifest=manifest,
     )
     return runner.run(shards)
 

@@ -98,6 +98,7 @@ def run_table3(
     faults: Any = None,
     check_invariants: bool = False,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[CaseRow]:
     """One shard per case; every case keeps the campaign seed, as before.
 
@@ -121,7 +122,8 @@ def run_table3(
         for scenario in cases
     ]
     runner = runner or CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="table3", cache=cache
+        jobs=jobs, base_seed=seed, campaign="table3", cache=cache,
+        manifest=manifest,
     )
     return runner.run(shards)
 
@@ -132,6 +134,7 @@ def run_figure3(
     faults: Any = None,
     check_invariants: bool = False,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[CaseRow]:
     return run_table3(
         seed=seed,
@@ -140,6 +143,7 @@ def run_figure3(
         faults=faults,
         check_invariants=check_invariants,
         cache=cache,
+        manifest=manifest,
     )
 
 

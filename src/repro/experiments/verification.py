@@ -121,6 +121,7 @@ def run_verification(
     catalogue: Catalogue | None = None,
     jobs: int | None = 1,
     cache: Any = None,
+    manifest: Any = True,
 ) -> list[VerificationRow]:
     shards = [
         Shard(
@@ -132,7 +133,8 @@ def run_verification(
         for i, label in enumerate(labels)
     ]
     runner = CampaignRunner(
-        jobs=jobs, base_seed=seed, campaign="verification", cache=cache
+        jobs=jobs, base_seed=seed, campaign="verification", cache=cache,
+        manifest=manifest,
     )
     return runner.run(shards)
 

@@ -16,22 +16,33 @@ whole substrate on for a run.
 """
 
 from .attribution import DelayAttribution, attribute_delay, link_hold_spans
+from .manifest import ManifestDiff, RunManifest, ShardRow, diff_manifests, git_describe
 from .metrics import Counter, Gauge, MetricsRegistry, StreamingHistogram
 from .observer import Observability, SchedulerProfiler, SimObserver
+from .telemetry import RegistrySnapshot, ShardTelemetry, ShardUsage, capture
 from .tracing import Span, Tracer, render_span_tree
 
 __all__ = [
     "Counter",
     "DelayAttribution",
     "Gauge",
+    "ManifestDiff",
     "MetricsRegistry",
     "Observability",
+    "RegistrySnapshot",
+    "RunManifest",
     "SchedulerProfiler",
+    "ShardRow",
+    "ShardTelemetry",
+    "ShardUsage",
     "SimObserver",
     "Span",
     "StreamingHistogram",
     "Tracer",
     "attribute_delay",
+    "capture",
+    "diff_manifests",
+    "git_describe",
     "link_hold_spans",
     "render_span_tree",
 ]

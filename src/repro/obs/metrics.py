@@ -44,6 +44,10 @@ class Counter:
     def inc(self, n: int = 1) -> None:
         self.value += n
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another shard's count in: counts of disjoint runs add."""
+        self.value += other.value
+
     def summary(self) -> dict[str, Any]:
         return {"value": self.value}
 
@@ -69,6 +73,16 @@ class Gauge:
 
     def dec(self, n: float = 1.0) -> None:
         self.value -= n
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another shard's gauge in.
+
+        Instantaneous values of disjoint shards add (each shard's queue
+        depth contributes to the campaign's); high-water marks take the
+        max, since the shards never coexisted in one process.
+        """
+        self.value += other.value
+        self.high_water = max(self.high_water, other.high_water)
 
     def summary(self) -> dict[str, Any]:
         return {"value": self.value, "high_water": self.high_water}
@@ -141,6 +155,32 @@ class StreamingHistogram:
     def _clamp(self, value: float) -> float:
         return min(max(value, self.min), self.max)
 
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram's buckets in (exact, order-independent).
+
+        Bucket counts, the zero bucket, ``count``, ``min``, and ``max``
+        combine exactly, so any quantile of the merged sketch is the same
+        no matter how many shards contributed or in which order they were
+        merged.  ``total`` is a float sum, so ``mean`` is merge-order
+        sensitive only in its last bits; campaign merges therefore always
+        fold in shard-index order.  Growth factors must match — resampling
+        between bucket bases would silently widen the error bound.
+        """
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with different growth factors: "
+                f"{self.growth} != {other.growth}"
+            )
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -191,8 +231,16 @@ class MetricsRegistry:
     the returned handle instead of re-looking it up per event.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, capture: bool = True) -> None:
         self._metrics: dict[MetricKey, Metric] = {}
+        if capture:
+            # Worker-side telemetry: a registry born while a shard capture
+            # is active is harvested into the shard's snapshot when the
+            # capture closes (see repro.obs.telemetry).  ``capture=False``
+            # keeps merge targets and driver bookkeeping out of the loop.
+            from . import telemetry
+
+            telemetry.register_registry(self)
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -245,6 +293,51 @@ class MetricsRegistry:
             return metric.count
         return metric.value
 
+    # ------------------------------------------------------------- merging
+
+    def merge(self, other: "MetricsRegistry",
+              exclude_components: Iterable[str] = ()) -> "MetricsRegistry":
+        """Fold another registry's metrics into this one, key by key.
+
+        Metrics present in both registries combine by kind (counters add,
+        gauges add value / max high-water, histograms add buckets); metrics
+        only in ``other`` are created here.  A key registered with a
+        different kind raises ``TypeError`` — silent coercion would corrupt
+        campaign roll-ups.  ``exclude_components`` skips whole components
+        (the runner uses it to keep wall-clock bookkeeping out of the
+        deterministic campaign snapshot).
+        """
+        excluded = frozenset(exclude_components)
+        for key, metric in sorted(other._metrics.items()):
+            component, name, labels = key
+            if component in excluded:
+                continue
+            mine = self._get_or_create(type(metric), component, name, dict(labels))
+            mine.merge(metric)
+        return self
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict[str, Any]]) -> "MetricsRegistry":
+        """Rebuild a registry from snapshot records (see :meth:`snapshot`)."""
+        registry = cls(capture=False)
+        for record in records:
+            labels = record.get("labels", {})
+            kind = record["kind"]
+            if kind == "counter":
+                registry.counter(record["component"], record["name"], **labels).inc(
+                    record["value"]
+                )
+            elif kind == "gauge":
+                gauge = registry.gauge(record["component"], record["name"], **labels)
+                gauge.high_water = record.get("high_water", record["value"])
+                gauge.value = record["value"]
+            elif kind == "histogram":
+                hist = registry.histogram(record["component"], record["name"], **labels)
+                hist.restore(record["state"])
+            else:
+                raise ValueError(f"unknown metric kind in record: {kind!r}")
+        return registry
+
     # --------------------------------------------------------- snapshotting
 
     def snapshot(self) -> list[dict[str, Any]]:
@@ -290,27 +383,13 @@ class MetricsRegistry:
     @classmethod
     def import_jsonl(cls, path: str) -> "MetricsRegistry":
         """Rebuild a registry from an exported snapshot."""
-        registry = cls()
+        records = []
         with open(path) as fh:
             for line in fh:
                 line = line.strip()
-                if not line:
-                    continue
-                record = json.loads(line)
-                labels = record.get("labels", {})
-                kind = record["kind"]
-                if kind == "counter":
-                    registry.counter(record["component"], record["name"], **labels).inc(
-                        record["value"]
-                    )
-                elif kind == "gauge":
-                    gauge = registry.gauge(record["component"], record["name"], **labels)
-                    gauge.high_water = record.get("high_water", record["value"])
-                    gauge.value = record["value"]
-                elif kind == "histogram":
-                    hist = registry.histogram(record["component"], record["name"], **labels)
-                    hist.restore(record["state"])
-        return registry
+                if line:
+                    records.append(json.loads(line))
+        return cls.from_records(records)
 
     # ------------------------------------------------------------ rendering
 

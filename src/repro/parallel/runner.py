@@ -45,12 +45,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
+from ..obs import telemetry
+from ..obs.manifest import RunManifest, ShardRow, manifest_path_for
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import RegistrySnapshot, ShardTelemetry
 from .seeds import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -118,17 +123,29 @@ def _warm_up() -> None:
     import repro.testbed  # noqa: F401
 
 
-def _run_shard(shard: Shard, base_seed: int) -> tuple[Any, float]:
-    """Execute one shard (worker side); returns (result, wall seconds)."""
+def _run_shard(shard: Shard, base_seed: int) -> tuple[Any, float, ShardTelemetry]:
+    """Execute one shard (worker side).
+
+    Returns ``(result, wall seconds, telemetry)``: the shard function runs
+    inside a :func:`repro.obs.telemetry.capture`, so every registry and
+    simulator it constructs is folded into a picklable
+    :class:`~repro.obs.telemetry.ShardTelemetry` that rides back across the
+    process boundary with the result, along with the worker's own resource
+    account (wall/CPU seconds, peak RSS).
+    """
     kwargs = shard.kwargs
     if shard.pass_seed:
         kwargs = dict(kwargs)
         kwargs["seed"] = (
             shard.seed if shard.seed is not None else derive_seed(base_seed, shard.key)
         )
+    start_cpu = telemetry.cpu_seconds_now()
     start = time.perf_counter()
-    result = shard.fn(**kwargs)
-    return result, time.perf_counter() - start
+    with telemetry.capture() as cap:
+        result = shard.fn(**kwargs)
+    end = time.perf_counter()
+    usage = telemetry.ShardUsage.measure(start, end, start_cpu)
+    return result, end - start, cap.finish(result, usage)
 
 
 class CampaignRunner:
@@ -146,12 +163,30 @@ class CampaignRunner:
         registry: MetricsRegistry | None = None,
         campaign: str = "campaign",
         cache: "CampaignCache | bool | None" = None,
+        manifest: "bool | str | os.PathLike | None" = True,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.base_seed = base_seed
         self.campaign = campaign
         self.registry = registry if registry is not None else MetricsRegistry()
         self.last_wall_seconds = 0.0
+        #: Manifest policy: ``True`` writes the campaign's default path,
+        #: a path writes there, ``False``/``None`` disables the artifact.
+        self.manifest = manifest
+        #: Per-shard telemetry of the last ``run()`` (None for shards that
+        #: carried none, e.g. pre-telemetry cache entries).
+        self.last_telemetry: list[ShardTelemetry | None] = []
+        self.last_snapshot: RegistrySnapshot = RegistrySnapshot.empty()
+        self.last_span_summaries: tuple[dict[str, Any], ...] = ()
+        self.last_shard_rows: tuple[ShardRow, ...] = ()
+        self.last_manifest: RunManifest | None = None
+        self.last_manifest_path: Path | None = None
+        self._run_total = 0
+        self._run_done = 0
+        self._events_seen = 0
+        self._run_started = 0.0
+        self._progress_last = 0.0
+        self._progress_width = 0
         if cache:
             # Lazy import: repro.cache pulls in repro.parallel.seeds, so a
             # module-level import here would be circular.
@@ -180,6 +215,18 @@ class CampaignRunner:
         self._shard_seconds = self.registry.histogram(
             "parallel", "shard_seconds", campaign=campaign
         )
+        # Worker-side resource accounting (satellite): the wall clock above
+        # is driver-side and hides serialisation; these come from
+        # ``getrusage`` inside the shard wrapper.
+        self._shard_cpu_seconds = self.registry.histogram(
+            "parallel", "shard_cpu_seconds", campaign=campaign
+        )
+        self._worker_rss = self.registry.gauge(
+            "parallel", "worker_peak_rss_kb", campaign=campaign
+        )
+        self._events_processed = self.registry.counter(
+            "parallel", "events_processed", campaign=campaign
+        )
 
     # ------------------------------------------------------------ execution
 
@@ -192,13 +239,21 @@ class CampaignRunner:
         """
         shards = list(shards)
         self._total.inc(len(shards))
-        start = time.perf_counter()
+        self._run_total = len(shards)
+        self._run_done = 0
+        self._events_seen = 0
+        self._run_started = start = time.perf_counter()
+        self._progress_last = 0.0
         try:
             if not shards:
+                self.last_telemetry = []
+                self._finalize(shards, [])
                 return []
             results: list[Any] = [None] * len(shards)
             keys: list["CacheKey | None"] = [None] * len(shards)
-            pending = self._fill_from_cache(shards, results, keys)
+            telemetry_rows: list[ShardTelemetry | None] = [None] * len(shards)
+            self.last_telemetry = telemetry_rows
+            pending = self._fill_from_cache(shards, results, keys, telemetry_rows)
             if pending:
                 workers = min(self.jobs, len(pending))
                 if workers <= 1 or not fork_available():
@@ -207,18 +262,23 @@ class CampaignRunner:
                     ]
                 else:
                     outcomes = self._run_pool(shards, pending, workers)
-                for index, result, elapsed in outcomes:
+                for index, result, elapsed, shard_telemetry in outcomes:
                     results[index] = result
-                    self._store(shards[index], keys[index], result, elapsed)
+                    telemetry_rows[index] = shard_telemetry
+                    self._store(shards[index], keys[index], result, elapsed,
+                                shard_telemetry)
+            self._finalize(shards, keys)
             return results
         finally:
             self.last_wall_seconds = time.perf_counter() - start
+            self._progress_clear()
 
     def _fill_from_cache(
         self,
         shards: list[Shard],
         results: list[Any],
         keys: list["CacheKey | None"],
+        telemetry_rows: list[ShardTelemetry | None],
     ) -> list[int]:
         """Populate ``results`` with hits; return the indices still to run."""
         if self.cache is None:
@@ -232,46 +292,78 @@ class CampaignRunner:
                 self._cache_hits.inc()
                 self._completed.inc()
                 results[index] = lookup.result
+                if isinstance(lookup.telemetry, ShardTelemetry):
+                    # The cached snapshot is the deterministic part only;
+                    # ``cached`` is this run's annotation, never stored.
+                    telemetry_rows[index] = replace(lookup.telemetry, cached=True)
+                self._book_progress(telemetry_rows[index])
             else:
                 (self._cache_stale if lookup.stale else self._cache_misses).inc()
                 pending.append(index)
         return pending
 
     def _store(self, shard: Shard, key: "CacheKey | None", result: Any,
-               elapsed: float) -> None:
+               elapsed: float, shard_telemetry: ShardTelemetry | None = None) -> None:
         if self.cache is None or key is None:
             return
         kwargs = dict(shard.kwargs)
         if shard.pass_seed:
             kwargs["seed"] = key.seed
-        self.cache.put(key, result, wall_seconds=elapsed, call=(shard.fn, kwargs))
+        self.cache.put(
+            key, result, wall_seconds=elapsed, call=(shard.fn, kwargs),
+            telemetry=(shard_telemetry.deterministic()
+                       if shard_telemetry is not None else None),
+        )
 
-    def _run_serial(self, shard: Shard) -> tuple[Any, float]:
+    def _book_usage(self, shard_telemetry: ShardTelemetry | None) -> None:
+        """Record the worker's resource account into the parallel component."""
+        usage = shard_telemetry.usage if shard_telemetry is not None else None
+        if usage is None:
+            return
+        self._shard_cpu_seconds.observe(usage.cpu_seconds)
+        if usage.peak_rss_kb > self._worker_rss.value:
+            self._worker_rss.set(usage.peak_rss_kb)
+
+    def _book_progress(self, shard_telemetry: ShardTelemetry | None) -> None:
+        self._run_done += 1
+        if shard_telemetry is not None:
+            events = shard_telemetry.events_processed()
+            self._events_seen += events
+            self._events_processed.inc(events)
+        self._progress_tick()
+
+    def _run_serial(self, shard: Shard) -> tuple[Any, float, ShardTelemetry]:
         """The no-pool path: ``jobs=1``, a single pending shard, or no fork."""
-        result, elapsed = _run_shard(shard, self.base_seed)
+        result, elapsed, shard_telemetry = _run_shard(shard, self.base_seed)
         self._inproc.inc()
         self._completed.inc()
         self._shard_seconds.observe(elapsed)
-        return result, elapsed
+        self._book_usage(shard_telemetry)
+        self._book_progress(shard_telemetry)
+        return result, elapsed, shard_telemetry
 
-    def _replay(self, shard: Shard) -> tuple[Any, float]:
+    def _replay(self, shard: Shard) -> tuple[Any, float, ShardTelemetry]:
         """In-process replay of a shard whose pool future failed.
 
         Books the shard exactly once: it counts as completed (it did
         complete — here) and as replayed, but never as a pool completion
         or an in-process run on top, so ``shards_completed`` can never
-        exceed ``shards_total``.
+        exceed ``shards_total``.  The telemetry carries ``replayed=True``
+        so the manifest row distinguishes a healed run from a clean one.
         """
-        result, elapsed = _run_shard(shard, self.base_seed)
+        result, elapsed, shard_telemetry = _run_shard(shard, self.base_seed)
+        shard_telemetry = replace(shard_telemetry, replayed=True)
         self._replayed.inc()
         self._completed.inc()
         self._shard_seconds.observe(elapsed)
-        return result, elapsed
+        self._book_usage(shard_telemetry)
+        self._book_progress(shard_telemetry)
+        return result, elapsed, shard_telemetry
 
     def _run_pool(
         self, shards: list[Shard], pending: list[int], workers: int
-    ) -> list[tuple[int, Any, float]]:
-        outcomes: list[tuple[int, Any, float]] = []
+    ) -> list[tuple[int, Any, float, ShardTelemetry]]:
+        outcomes: list[tuple[int, Any, float, ShardTelemetry]] = []
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=ctx, initializer=_warm_up
@@ -284,7 +376,7 @@ class CampaignRunner:
                 index = futures[future]
                 self._in_flight.dec()
                 try:
-                    result, elapsed = future.result()
+                    result, elapsed, shard_telemetry = future.result()
                 except Exception:
                     # Infrastructure failure (broken pool, unpicklable
                     # result, worker OOM-kill): the shard itself is pure,
@@ -292,12 +384,73 @@ class CampaignRunner:
                     # re-raises the shard's genuine error with a usable
                     # traceback.
                     self._failed.inc()
-                    result, elapsed = self._replay(shards[index])
+                    result, elapsed, shard_telemetry = self._replay(shards[index])
                 else:
                     self._completed.inc()
                     self._shard_seconds.observe(elapsed)
-                outcomes.append((index, result, elapsed))
+                    self._book_usage(shard_telemetry)
+                    self._book_progress(shard_telemetry)
+                outcomes.append((index, result, elapsed, shard_telemetry))
         return outcomes
+
+    # ---------------------------------------------------------- aggregation
+
+    def _resolved_seed(self, shard: Shard) -> int | None:
+        if not shard.pass_seed:
+            return None
+        if shard.seed is not None:
+            return shard.seed
+        return derive_seed(self.base_seed, shard.key)
+
+    @staticmethod
+    def _fault_profile_of(shards: list[Shard]) -> str | None:
+        for shard in shards:
+            faults = shard.kwargs.get("faults")
+            if faults is not None:
+                return getattr(faults, "name", None) or str(faults)
+        return None
+
+    def _finalize(self, shards: list[Shard],
+                  keys: list["CacheKey | None"]) -> None:
+        """Merge shard telemetry (in shard order) and emit the manifest."""
+        snapshot, spans = telemetry.merge_telemetry(self.last_telemetry)
+        self.last_snapshot = snapshot
+        self.last_span_summaries = spans
+        self.last_shard_rows = tuple(
+            ShardRow.from_telemetry(
+                index,
+                shard.key,
+                keys[index].seed if index < len(keys) and keys[index] is not None
+                else self._resolved_seed(shard),
+                self.last_telemetry[index] if index < len(self.last_telemetry)
+                else None,
+            )
+            for index, shard in enumerate(shards)
+        )
+        self._last_fault_profile = self._fault_profile_of(shards)
+        if self.manifest is not None and self.manifest is not False:
+            self.write_manifest(
+                None if self.manifest is True else self.manifest
+            )
+
+    def write_manifest(self, path: "str | os.PathLike | None" = None) -> Path:
+        """Write the last run's manifest; returns the path written."""
+        manifest = RunManifest.build(
+            campaign=self.campaign,
+            seed=self.base_seed,
+            jobs=self.jobs,
+            snapshot=self.last_snapshot,
+            span_summaries=self.last_span_summaries,
+            shard_rows=self.last_shard_rows,
+            fault_profile=getattr(self, "_last_fault_profile", None),
+            cache_fingerprint=self.cache.fingerprint if self.cache else None,
+            wall_seconds=time.perf_counter() - self._run_started
+            if self._run_started else self.last_wall_seconds,
+        )
+        target = manifest_path_for(self.campaign, path)
+        self.last_manifest = manifest
+        self.last_manifest_path = manifest.write(target)
+        return self.last_manifest_path
 
     # ------------------------------------------------------------- progress
 
@@ -305,9 +458,57 @@ class CampaignRunner:
     def completed(self) -> int:
         return int(self._completed.value)
 
+    #: Seconds between live progress-line repaints.
+    PROGRESS_INTERVAL = 0.25
+
+    def _progress_stream(self):
+        stream = sys.stderr
+        return stream if hasattr(stream, "isatty") and stream.isatty() else None
+
+    def _progress_tick(self, force: bool = False) -> None:
+        """Repaint the live progress line (tty-only, throttled).
+
+        Goes to stderr so campaign stdout stays byte-identical between
+        runs — the cache round-trip CI job diffs stdout.
+        """
+        stream = self._progress_stream()
+        if stream is None:
+            return
+        now = time.perf_counter()
+        if not force and now - self._progress_last < self.PROGRESS_INTERVAL:
+            return
+        self._progress_last = now
+        stream.write("\r" + self.render_progress().ljust(self._progress_width))
+        self._progress_width = max(self._progress_width, len(self.render_progress()))
+        stream.flush()
+
+    def _progress_clear(self) -> None:
+        stream = self._progress_stream()
+        if stream is None or not self._progress_width:
+            return
+        stream.write("\r" + " " * self._progress_width + "\r")
+        stream.flush()
+        self._progress_width = 0
+
     def render_progress(self) -> str:
-        """The campaign's slice of the metrics table (for CLI/debug use)."""
-        return self.registry.render_table(component="parallel")
+        """The live one-line account of the run in flight.
+
+        Shard progress, ETA extrapolated from completed shards, and the
+        aggregate simulated-event throughput so far.  (The full metrics
+        table is still available via ``registry.render_table('parallel')``.)
+        """
+        elapsed = (
+            time.perf_counter() - self._run_started if self._run_started else 0.0
+        )
+        done, total = self._run_done, self._run_total
+        line = f"{self.campaign}: {done}/{total} shard(s)"
+        if done and total and done < total:
+            eta = elapsed / done * (total - done)
+            line += f"  eta {eta:.1f}s"
+        if elapsed > 0 and self._events_seen:
+            line += f"  {self._events_seen / elapsed:,.0f} ev/s"
+        line += f"  [{elapsed:.1f}s]"
+        return line
 
     def summary(self) -> str:
         """One-line account of the last ``run()`` for log output."""

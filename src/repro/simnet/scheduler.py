@@ -15,6 +15,7 @@ import itertools
 import random
 from typing import Any, Callable, TYPE_CHECKING
 
+from ..obs import telemetry
 from ..obs.observer import Observability
 from .clock import Clock
 
@@ -96,6 +97,10 @@ class Simulator:
         #: Optional cross-layer invariant suite (see
         #: :mod:`repro.faults.invariants`); None keeps layer hooks free.
         self.invariants: Any = None
+        # Registration is construction-time only: an active telemetry
+        # capture learns this simulator exists, and the hot loop stays
+        # untouched — counts are read off the finished simulator.
+        telemetry.register_simulator(self)
 
     @property
     def now(self) -> float:
