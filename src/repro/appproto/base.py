@@ -19,6 +19,7 @@ property of the implementation, not the protocol specification.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, TYPE_CHECKING
 
@@ -153,6 +154,9 @@ class DeviceProtocolClient:
         self._ka_timer = None
         self._ka_response_timer = None
         self._reconnect_timer = None
+        # Interned once: the keep-alive timer is re-armed on every message
+        # under the on-idle policy, so per-arm f-string labels were hot.
+        self._ka_label = sys.intern(f"{device_id}:keepalive")
         self._pending_event_timers: dict[int, Any] = {}
         self._send_queue: list[tuple[IoTMessage, int]] = []
 
@@ -371,7 +375,7 @@ class DeviceProtocolClient:
         if self._ka_timer is not None:
             self._ka_timer.cancel()
         self._ka_timer = self.sim.schedule(
-            policy.period, self._send_keepalive, label=f"{self.device_id}:keepalive"
+            policy.period, self._send_keepalive, label=self._ka_label
         )
 
     def _send_keepalive(self) -> None:

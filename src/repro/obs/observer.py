@@ -30,10 +30,18 @@ class SimObserver:
     """No-op scheduler observer; subclass and override what you need."""
 
     def timer_scheduled(self, timer: "Timer", now: float) -> None:
-        """A timer was pushed onto the queue at simulated time ``now``."""
+        """A timer was entered into the event store at simulated time ``now``."""
 
     def timer_fired(self, timer: "Timer", now: float, queue_depth: int) -> None:
-        """A timer's callback is about to run; ``queue_depth`` excludes it."""
+        """A timer's callback is about to run; ``queue_depth`` excludes it.
+
+        ``queue_depth`` is the number of *live* pending timers (scheduled,
+        not yet fired or cancelled) — cancelled ghosts awaiting lazy
+        removal from the timer wheel are never counted.  The hook fires
+        for every logical event, including periodic fires the scheduler
+        batch-steps through its quiescence fast path, so profilers see an
+        identical stream whether or not the fast path engaged.
+        """
 
 
 class SchedulerProfiler(SimObserver):

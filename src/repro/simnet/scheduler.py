@@ -1,11 +1,53 @@
-"""Discrete-event scheduler.
+"""Discrete-event scheduler built around a hierarchical timer wheel.
 
 The scheduler is the heartbeat of the whole reproduction: TCP retransmission
 and keep-alive timers, MQTT PINGREQ periods, HTTP response timeouts, sensor
 trigger timelines, and the attacker's hold-and-release schedules are all
-events on a single priority queue.  Determinism matters — two runs with the
-same seed and the same timeline must produce identical packet traces — so
-ties are broken by insertion order, never by object identity.
+events in a single logical timeline.  Determinism matters — two runs with
+the same seed and the same timeline must produce identical packet traces —
+so ties are broken by insertion order, never by object identity.
+
+The event store is shaped around the workload's actual shape (almost all
+events are short periodic keep-alives and short-lived protocol timers):
+
+* **Timer wheel.**  Near-future one-shot timers land in one of
+  :data:`WHEEL_SIZE` bucket heaps covering :data:`TICK`-second slots
+  (insert and cancel are O(1) bucket operations; each bucket heap holds a
+  handful of nodes, so intra-bucket ordering costs almost nothing).  An
+  occupancy bitmask (one big int) finds the next non-empty bucket with a
+  single ``(rot & -rot).bit_length()`` — idle gaps between keep-alive
+  bursts are skipped in constant time rather than scanned.
+* **Overflow heap.**  Timers beyond the wheel horizon (``TICK *
+  WHEEL_SIZE`` seconds) wait in a plain sorted heap and migrate into the
+  wheel as the cursor approaches — far-future events cost nothing until
+  they are near.
+* **True cancellation removal.**  ``Timer.cancel()`` removes the node from
+  its bucket when it is the bucket tail (the schedule-then-cancel pattern
+  protocol state machines use for defensive cancels), and always removes
+  the timer from the live-pending count; remaining ghosts are swept when
+  their bucket comes due — they can no longer accumulate for thousands of
+  events the way cancelled TCP retransmit timers did in the old global
+  binary heap.
+* **Periodic timers.**  :meth:`Simulator.schedule_periodic` returns a
+  :class:`PeriodicTimer` that the scheduler re-arms in place after each
+  fire — no per-cycle ``Timer`` allocation, no re-insert through the
+  general path — kept in a dedicated small heap merged with the wheel by
+  exact ``(when, seq)`` order.
+* **Quiescence skipping.**  When every pending event is periodic and no
+  quiescence blocker is registered (attacker holds and fault profiles
+  block it, see :meth:`Simulator.block_quiescence`), ``run_until`` drops
+  into a tight loop that batch-steps the clock across whole idle
+  intervals, firing the periodic callbacks in bulk while preserving exact
+  fire ordering.  The observer still sees every logical fire.
+* **Timer free-list.**  Fired one-shot timers with no remaining external
+  references (checked via the C refcount) are recycled instead of
+  re-allocated.
+
+Fire order is exactly the order the previous binary-heap scheduler
+produced: globally sorted by ``(when, seq)`` where ``seq`` is a single
+per-simulator insertion counter shared by one-shot and periodic timers.
+``tests/test_scheduler_equivalence.py`` drives random schedule / cancel /
+reschedule sequences through both implementations to pin that contract.
 """
 
 from __future__ import annotations
@@ -13,6 +55,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import sys
 from typing import Any, Callable, TYPE_CHECKING
 
 from ..obs import telemetry
@@ -22,12 +65,45 @@ from .clock import Clock
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.observer import SimObserver
 
-# Heap nodes are plain ``(when, seq, timer)`` tuples: ``seq`` is unique per
+# ---------------------------------------------------------------- wheel shape
+
+#: Wheel slot width in simulated seconds.  1/32 s comfortably separates the
+#: sub-second protocol timers that dominate while keeping the horizon
+#: (TICK * WHEEL_SIZE = 8 s) wide enough that only long keep-alive idles
+#: ever touch the overflow heap.
+TICK = 0.03125
+_INV_TICK = 1.0 / TICK
+
+WHEEL_BITS = 8
+WHEEL_SIZE = 1 << WHEEL_BITS  # 256 buckets
+WHEEL_MASK = WHEEL_SIZE - 1
+_WHEEL_FULL = (1 << WHEEL_SIZE) - 1
+
+#: Upper bound on recycled Timer objects kept per simulator.
+_FREELIST_MAX = 512
+
+# Wheel nodes are plain ``(when, seq, timer)`` tuples: ``seq`` is unique per
 # simulator, so comparisons are settled by the first two fields and the
 # timer is never compared.  Tuple comparison is implemented in C, which is
-# what makes this the cheapest possible node for the hot loop (a dataclass
-# with ``order=True`` builds a fresh tuple per rich comparison).
-_HeapNode = "tuple[float, int, Timer]"
+# what makes this the cheapest possible node for the hot loop.
+
+# A timer is recycled only when the C refcount proves nothing outside the
+# hot loop still references it.  The expected count is probed rather than
+# hard-coded so a CPython version that changes calling-convention ref
+# accounting disables recycling instead of corrupting live handles.
+if hasattr(sys, "getrefcount"):  # pragma: no branch
+    def _expected_refs() -> int:
+        obj = object()
+        node = (obj,)  # mirrors the hot loop: node tuple + local + argument
+        count = sys.getrefcount(obj)
+        del node
+        return count
+
+    _RECYCLE_REFS: int | None = _expected_refs()
+    _getrefcount = sys.getrefcount
+else:  # pragma: no cover - non-CPython
+    _RECYCLE_REFS = None
+    _getrefcount = None
 
 
 class Timer:
@@ -37,7 +113,17 @@ class Timer:
     protocol state machines can cancel defensively.
     """
 
-    __slots__ = ("callback", "args", "when", "created_at", "_cancelled", "_fired", "label")
+    __slots__ = (
+        "callback",
+        "args",
+        "when",
+        "created_at",
+        "_cancelled",
+        "_fired",
+        "label",
+        "_bucket",
+        "_sim",
+    )
 
     def __init__(
         self,
@@ -54,6 +140,10 @@ class Timer:
         self.created_at = created_at
         self._cancelled = False
         self._fired = False
+        #: The bucket/overflow/periodic heap list currently holding this
+        #: timer's node, for O(1) tail removal on cancel; None once popped.
+        self._bucket: list[tuple[float, int, "Timer"]] | None = None
+        self._sim: "Simulator | None" = None
 
     @property
     def active(self) -> bool:
@@ -61,35 +151,92 @@ class Timer:
         return not (self._cancelled or self._fired)
 
     def cancel(self) -> None:
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._on_timer_cancelled(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "active" if self.active else ("fired" if self._fired else "cancelled")
         return f"Timer({self.label or self.callback!r} @ {self.when:.3f}, {state})"
 
 
+class PeriodicTimer(Timer):
+    """A timer the scheduler re-arms in place after every fire.
+
+    ``active`` stays true across fires; :meth:`Timer.cancel` stops the
+    cycle.  ``when`` always holds the next pending fire time.
+    """
+
+    __slots__ = ("period",)
+
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+        period: float,
+        label: str = "",
+        created_at: float = 0.0,
+    ) -> None:
+        super().__init__(when, callback, args, label=label, created_at=created_at)
+        self.period = period
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "active"
+        return (
+            f"PeriodicTimer({self.label or self.callback!r} @ {self.when:.3f} "
+            f"every {self.period:.3f}, {state})"
+        )
+
+
 class Simulator:
     """Event loop owning the virtual :class:`Clock`.
 
-    Components schedule callbacks with :meth:`schedule` (relative delay) or
-    :meth:`at` (absolute time).  ``run_until`` / ``run`` drive the loop.  The
-    simulator also owns a seeded :class:`random.Random` so that jitter (for
-    example TCP retransmission backoff randomisation) is reproducible.
+    Components schedule callbacks with :meth:`schedule` (relative delay),
+    :meth:`at` (absolute time), or :meth:`schedule_periodic` (recurring).
+    ``run_until`` / ``run`` drive the loop.  The simulator also owns a
+    seeded :class:`random.Random` so that jitter (for example TCP
+    retransmission backoff randomisation) is reproducible.
     """
 
     #: When the event budget is near, fire counts over this trailing window
     #: of events are tallied so the budget error can name the hot timers.
     BUDGET_TALLY_WINDOW = 100_000
 
+    #: Cap on distinct labels the near-budget tally tracks; the long tail
+    #: beyond it is folded into ``<other>`` so a high-cardinality label set
+    #: cannot grow the tally dict without bound.
+    TALLY_MAX_LABELS = 256
+
     def __init__(self, seed: int = 0, observer: "SimObserver | None" = None) -> None:
         self.clock = Clock()
         self.rng = random.Random(seed)
-        self._queue: list[tuple[float, int, Timer]] = []
+        self._buckets: list[list[tuple[float, int, Timer]]] = [
+            [] for _ in range(WHEEL_SIZE)
+        ]
+        self._occ = 0  # occupancy bitmask: bit b set <=> bucket b may hold nodes
+        self._cursor = 0  # wheel position: int(clock.now * _INV_TICK)
+        self._overflow: list[tuple[float, int, Timer]] = []
+        self._pheap: list[tuple[float, int, Timer]] = []
+        self._free: list[Timer] = []
         self._seq = itertools.count()
+        self._pending = 0  # live (un-fired, un-cancelled) timers, all kinds
+        self._pending_periodic = 0  # live periodic timers
+        self._quiesce_blockers = 0
+        # Bumped by anything that invalidates state the quiescent fast
+        # path hoists into locals (observer, tally threshold, blockers).
+        self._qepoch = 0
+        #: Master switch for the quiescence fast path (kept on; benches
+        #: flip it off to measure the batch-stepping win in isolation).
+        self.quiescence_enabled = True
         self._events_processed = 0
         self._max_events = 50_000_000  # runaway-loop backstop
         self._tally_after = max(0, self._max_events - self.BUDGET_TALLY_WINDOW)
         self._label_fires: dict[str, int] = {}
+        self._tally_total = 0
         #: Scheduler profiling hook; None keeps the hot loop branch-cheap.
         self._observer = observer
         #: Per-simulation observability facade; disabled until enabled.
@@ -111,6 +258,11 @@ class Simulator:
         return self._events_processed
 
     @property
+    def pending_events(self) -> int:
+        """Live (scheduled, not yet fired or cancelled) timers."""
+        return self._pending
+
+    @property
     def max_events(self) -> int:
         return self._max_events
 
@@ -124,10 +276,16 @@ class Simulator:
         # the "near budget" branch permanently hot.  Clamping to zero means
         # small budgets simply tally from the first event.
         self._tally_after = max(0, budget - self.BUDGET_TALLY_WINDOW)
+        # A new budget starts a new tally window: fires counted against the
+        # old budget must not masquerade as this run's hot timers.
+        self._label_fires.clear()
+        self._tally_total = 0
+        self._qepoch += 1
 
     def set_observer(self, observer: "SimObserver | None") -> None:
         """Install (or remove) the scheduler profiling observer."""
         self._observer = observer
+        self._qepoch += 1
 
     def enable_observability(self, profile_scheduler: bool = True) -> Observability:
         """Turn on the metrics registry and tracer for this simulation.
@@ -141,7 +299,32 @@ class Simulator:
 
             assert obs.registry is not None
             self._observer = SchedulerProfiler(obs.registry)
+            self._qepoch += 1
         return obs
+
+    # -------------------------------------------------------------- quiescence
+
+    def block_quiescence(self) -> None:
+        """Disable the batch-stepping fast path (counted; re-entrant).
+
+        Attacker hold windows and active fault profiles call this so the
+        scheduler never batch-steps across an interval an adversary or an
+        impairment could perturb.  The fast path is semantically identical
+        either way; blocking it is belt-and-braces determinism insurance.
+        """
+        self._quiesce_blockers += 1
+        self._qepoch += 1
+
+    def unblock_quiescence(self) -> None:
+        if self._quiesce_blockers <= 0:
+            raise RuntimeError("unblock_quiescence without matching block")
+        self._quiesce_blockers -= 1
+
+    @property
+    def quiescence_blocked(self) -> bool:
+        return self._quiesce_blockers > 0
+
+    # -------------------------------------------------------------- scheduling
 
     def schedule(
         self,
@@ -153,7 +336,7 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past: delay={delay}")
-        return self.at(self.now + delay, callback, *args, label=label)
+        return self.at(self.clock._now + delay, callback, *args, label=label)
 
     def at(
         self,
@@ -163,46 +346,235 @@ class Simulator:
         label: str = "",
     ) -> Timer:
         """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
-        if when < self.now:
-            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
-        timer = Timer(when, callback, args, label=label, created_at=self.now)
-        heapq.heappush(self._queue, (when, next(self._seq), timer))
+        now = self.clock._now
+        if when < now:
+            raise ValueError(f"cannot schedule in the past: {when} < {now}")
+        free = self._free
+        if free:
+            timer = free.pop()
+            timer.when = when
+            timer.callback = callback
+            timer.args = args
+            timer.label = sys.intern(label) if label else label
+            timer.created_at = now
+            timer._cancelled = False
+            timer._fired = False
+        else:
+            timer = Timer(
+                when, callback, args,
+                label=sys.intern(label) if label else label,
+                created_at=now,
+            )
+        timer._sim = self
+        node = (when, next(self._seq), timer)
+        tick = int(when * _INV_TICK)
+        cursor = self._cursor
+        if tick < cursor:  # float-rounding guard; fires next either way
+            tick = cursor
+        if tick - cursor < WHEEL_SIZE:
+            bucket = self._buckets[tick & WHEEL_MASK]
+            heapq.heappush(bucket, node)
+            self._occ |= 1 << (tick & WHEEL_MASK)
+            timer._bucket = bucket
+        else:
+            heapq.heappush(self._overflow, node)
+            timer._bucket = self._overflow
+        self._pending += 1
         if self._observer is not None:
-            self._observer.timer_scheduled(timer, self.now)
+            self._observer.timer_scheduled(timer, now)
+        return timer
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        first: float | None = None,
+        label: str = "",
+    ) -> PeriodicTimer:
+        """Schedule ``callback(*args)`` every ``period`` seconds.
+
+        The first fire is ``first`` seconds from now (default: one period).
+        After each fire the scheduler re-arms the same
+        :class:`PeriodicTimer` in place — no allocation, no heap churn —
+        with a fresh insertion sequence number, exactly as if the callback
+        had ended with ``sim.schedule(period, ...)``.  Cancel to stop.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        delay = period if first is None else first
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: first={first}")
+        now = self.clock._now
+        timer = PeriodicTimer(
+            now + delay, callback, args, period,
+            label=sys.intern(label) if label else label,
+            created_at=now,
+        )
+        timer._sim = self
+        pheap = self._pheap
+        heapq.heappush(pheap, (timer.when, next(self._seq), timer))
+        timer._bucket = pheap
+        self._pending += 1
+        self._pending_periodic += 1
+        if self._observer is not None:
+            self._observer.timer_scheduled(timer, now)
         return timer
 
     def call_soon(self, callback: Callable[..., Any], *args: Any, label: str = "") -> Timer:
         """Schedule a callback at the current instant (after pending events)."""
-        return self.at(self.now, callback, *args, label=label)
+        return self.at(self.clock._now, callback, *args, label=label)
+
+    # ------------------------------------------------------------ cancellation
+
+    def _on_timer_cancelled(self, timer: Timer) -> None:
+        """Book-keeping for :meth:`Timer.cancel` (flag already set)."""
+        self._pending -= 1
+        if type(timer) is PeriodicTimer:
+            self._pending_periodic -= 1
+        bucket = timer._bucket
+        timer._bucket = None
+        if bucket and bucket[-1][2] is timer:
+            # Tail removal is heap-safe and catches the dominant
+            # schedule-then-immediately-cancel defensive pattern, so those
+            # timers never even become ghosts.
+            bucket.pop()
+
+    # ------------------------------------------------------------------ lookup
+
+    def _next_wheel_bucket(self) -> tuple[int, list[tuple[float, int, Timer]]] | None:
+        """The earliest bucket holding a live one-shot, after migration.
+
+        Prunes cancelled ghosts off bucket tops, clears occupancy bits of
+        emptied buckets, and pulls overflow nodes that entered the wheel
+        window.  Does not move the clock or the cursor.
+        """
+        pop = heapq.heappop
+        overflow = self._overflow
+        cursor = self._cursor
+        horizon = cursor + WHEEL_SIZE
+        buckets = self._buckets
+        while overflow:
+            node = overflow[0]
+            timer = node[2]
+            if timer._cancelled:
+                pop(overflow)
+                continue
+            tick = int(node[0] * _INV_TICK)
+            if tick >= horizon:
+                break
+            pop(overflow)
+            if tick < cursor:
+                tick = cursor
+            bucket = buckets[tick & WHEEL_MASK]
+            heapq.heappush(bucket, node)
+            self._occ |= 1 << (tick & WHEEL_MASK)
+            timer._bucket = bucket
+        occ = self._occ
+        scan = cursor
+        while occ:
+            shift = scan & WHEEL_MASK
+            rot = ((occ >> shift) | (occ << (WHEEL_SIZE - shift))) & _WHEEL_FULL
+            scan += (rot & -rot).bit_length() - 1
+            bucket = buckets[scan & WHEEL_MASK]
+            while bucket:
+                if bucket[0][2]._cancelled:
+                    pop(bucket)
+                else:
+                    return scan, bucket
+            occ &= ~(1 << (scan & WHEEL_MASK))
+            self._occ = occ
+            scan += 1
+        return None
+
+    def _prune_periodic(self) -> tuple[float, int, Timer] | None:
+        """Live head of the periodic heap (ghosts popped), or None."""
+        pheap = self._pheap
+        while pheap:
+            node = pheap[0]
+            if node[2]._cancelled:
+                heapq.heappop(pheap)
+            else:
+                return node
+        return None
 
     def peek(self) -> float | None:
         """Time of the next pending event, or None when the queue is drained."""
-        queue = self._queue
-        while queue:
-            timer = queue[0][2]
-            if timer._cancelled or timer._fired:
-                heapq.heappop(queue)
-            else:
-                return queue[0][0]
-        return None
+        nxt: float | None = None
+        found = self._next_wheel_bucket()
+        if found is not None:
+            nxt = found[1][0][0]
+        elif self._overflow:
+            # Migration above pruned ghost heads; a live overflow head is
+            # the earliest one-shot when the wheel window is empty.
+            nxt = self._overflow[0][0]
+        pnode = self._prune_periodic()
+        if pnode is not None and (nxt is None or pnode[0] < nxt):
+            nxt = pnode[0]
+        return nxt
+
+    # ------------------------------------------------------------------ firing
 
     def step(self) -> bool:
         """Run the single next event.  Returns False when nothing is pending."""
-        queue = self._queue
-        while queue:
-            when, _seq, timer = heapq.heappop(queue)
-            if timer._cancelled or timer._fired:
+        clock = self.clock
+        while True:
+            found = self._next_wheel_bucket()
+            onode = None
+            if found is None and self._overflow:
+                onode = self._overflow[0]
+            pnode = self._prune_periodic()
+            wnode = found[1][0] if found is not None else onode
+            if pnode is not None and (
+                wnode is None
+                or pnode[0] < wnode[0]
+                or (pnode[0] == wnode[0] and pnode[1] < wnode[1])
+            ):
+                self._fire_periodic(pnode)
+                return True
+            if wnode is None:
+                return False
+            if found is None:
+                # Beyond the wheel horizon: hop the window to the event.
+                clock.advance_to(wnode[0])
+                self._cursor = int(wnode[0] * _INV_TICK)
                 continue
-            self.clock.advance_to(when)
-            timer._fired = True
-            self._events_processed += 1
-            if self._events_processed > self._tally_after:
-                self._tally_near_budget(timer.label)
-            if self._observer is not None:
-                self._observer.timer_fired(timer, when, len(queue))
-            timer.callback(*timer.args)
+            tick, bucket = found
+            when, _seq, timer = heapq.heappop(bucket)
+            clock.advance_to(when)
+            self._cursor = tick
+            self._fire_oneshot(timer, when)
             return True
-        return False
+
+    def _fire_periodic(self, node: tuple[float, int, Timer]) -> None:
+        """Fire + re-arm the periodic head (non-hot path; loops inline it)."""
+        pheap = self._pheap
+        heapq.heappop(pheap)
+        when = node[0]
+        timer = node[2]
+        self.clock.advance_to(when)
+        self._cursor = int(when * _INV_TICK)
+        self._events_processed += 1
+        if self._events_processed > self._tally_after:
+            self._tally_near_budget(timer.label)
+        if self._observer is not None:
+            self._observer.timer_fired(timer, when, self._pending - 1)
+        timer.callback(*timer.args)
+        nxt = when + timer.period  # type: ignore[attr-defined]
+        timer.when = nxt
+        heapq.heappush(pheap, (nxt, next(self._seq), timer))
+
+    def _fire_oneshot(self, timer: Timer, when: float) -> None:
+        """Fire one popped wheel timer (non-hot path; run_until inlines)."""
+        timer._fired = True
+        timer._bucket = None
+        self._pending -= 1
+        self._events_processed += 1
+        if self._events_processed > self._tally_after:
+            self._tally_near_budget(timer.label)
+        if self._observer is not None:
+            self._observer.timer_fired(timer, when, self._pending)
+        timer.callback(*timer.args)
 
     def _tally_near_budget(self, label: str) -> None:
         """Count fires by label near the budget; raise a diagnosable error.
@@ -210,9 +582,22 @@ class Simulator:
         The tally only starts within :data:`BUDGET_TALLY_WINDOW` events of
         the budget so normal runs never pay for it; a runaway loop is by
         definition still spinning in that window, so the top labels identify
-        the culprit without a debugger.
+        the culprit without a debugger.  The tally is a *trailing* window:
+        once twice the window has been counted the counts are halved (an
+        exponential decay that keeps persistent hot labels on top while
+        letting stale ones fade), and at most :data:`TALLY_MAX_LABELS`
+        distinct labels are tracked — the long tail folds into ``<other>``.
         """
-        self._label_fires[label] = self._label_fires.get(label, 0) + 1
+        fires = self._label_fires
+        count = fires.get(label)
+        if count is None and len(fires) >= self.TALLY_MAX_LABELS:
+            label = "<other>"
+            count = fires.get(label)
+        fires[label] = 1 if count is None else count + 1
+        self._tally_total += 1
+        if self._tally_total >= 2 * self.BUDGET_TALLY_WINDOW:
+            self._label_fires = {k: v // 2 for k, v in fires.items() if v >= 2}
+            self._tally_total = sum(self._label_fires.values())
         if self._events_processed > self._max_events:
             top = sorted(self._label_fires.items(), key=lambda kv: -kv[1])[:5]
             window = min(self.BUDGET_TALLY_WINDOW, self._max_events)
@@ -222,49 +607,222 @@ class Simulator:
                 f"runaway loop? hottest timers over the last {window} events: {hot}"
             )
 
+    def _run_quiescent(self, deadline: float) -> bool:
+        """Batch-step across an all-periodic interval.
+
+        Fires every periodic callback due up to ``deadline`` in exact
+        ``(when, seq)`` order with the clock advanced per fire — identical
+        observable behaviour to the general loop, minus all wheel, merge,
+        and allocation machinery.  Returns True when quiescence broke (a
+        one-shot was scheduled, a blocker appeared, or the heap drained)
+        and the general loop must resume; False when ``deadline`` was
+        reached while still quiescent.
+
+        Two loop invariants make the per-fire bookkeeping minimal:
+
+        * ``_pending == _pending_periodic`` holds exactly when no live
+          one-shot exists (both counters are exact under schedule, fire
+          and cancel), so a single comparison re-proves quiescence after
+          every callback — including net-zero tricks like a callback that
+          cancels one periodic and schedules another.
+        * The observer and tally threshold are hoisted into locals;
+          anything that invalidates them (``set_observer``, the
+          ``max_events`` setter, ``block_quiescence``) bumps ``_qepoch``,
+          which is checked with the same comparison.
+
+        The wheel cursor is not maintained per fire — quiescence means
+        the wheel is empty — and is recomputed from the clock on every
+        exit (including a propagating budget error) by the ``finally``.
+        """
+        pheap = self._pheap
+        clock = self.clock
+        pop = heapq.heappop
+        replace = heapq.heapreplace
+        seq = self._seq
+        tally_after = self._tally_after
+        observer = self._observer
+        epoch = self._qepoch
+        # _pending is invariant across periodic fires (re-arm in place);
+        # only a callback's at/cancel/schedule_periodic can move it, so a
+        # local compare detects any mutation.
+        pending = self._pending
+        try:
+            while pheap:
+                node = pheap[0]
+                when = node[0]
+                if when > deadline:
+                    return False
+                timer = node[2]
+                if timer._cancelled:
+                    pop(pheap)
+                    continue
+                clock._now = when  # heap order guarantees monotonicity
+                self._events_processed = ep = self._events_processed + 1
+                if ep > tally_after:
+                    self._tally_near_budget(timer.label)
+                if observer is not None:
+                    observer.timer_fired(timer, when, pending - 1)
+                # The node stays at pheap[0] during the callback (anything
+                # the callback pushes carries a later seq, so it cannot
+                # displace the head) and is swapped for the re-armed node
+                # in a single sift.  Plain calls skip the slow *-unpacking
+                # path for the no-arg callbacks that dominate keep-alives.
+                args = timer.args
+                if args:
+                    timer.callback(*args)
+                else:
+                    timer.callback()
+                nxt = when + timer.period  # type: ignore[attr-defined]
+                timer.when = nxt
+                if timer._cancelled and (not pheap or pheap[0] is not node):
+                    # Self-cancel from inside the callback tail-popped the
+                    # head (the heap held only this node): push the ghost
+                    # re-arm instead of replacing — the general path also
+                    # re-arms a self-cancelled periodic as a ghost, so the
+                    # seq stream and heap contents stay identical.
+                    heapq.heappush(pheap, (nxt, next(seq), timer))
+                else:
+                    replace(pheap, (nxt, next(seq), timer))
+                if self._pending != pending or self._qepoch != epoch:
+                    # The callback scheduled or cancelled something, or a
+                    # blocker / observer / budget change invalidated the
+                    # hoisted locals: fall back to the general loop, which
+                    # re-evaluates quiescence per event.
+                    return True
+            return True  # heap drained (everything cancelled)
+        finally:
+            self._cursor = int(clock._now * _INV_TICK)
+
     def run_until(self, deadline: float) -> None:
         """Process events until the clock reaches ``deadline``.
 
-        Events scheduled exactly at ``deadline`` are executed; the clock never
-        moves past ``deadline`` even if the queue holds later events.
+        Events scheduled exactly at ``deadline`` are executed; the clock
+        never moves past ``deadline`` even if later events are pending.
 
-        This is the simulator's hot loop: pop, advance, and fire are fused
-        into one heap scan (``peek()`` followed by ``step()`` would walk past
-        cancelled timers twice), and the queue/clock/heappop lookups are
-        hoisted out of the loop.  ``self._observer`` and ``_tally_after``
-        are deliberately re-read after each callback so a callback
-        installing a profiler or tightening ``max_events`` mid-run takes
-        effect immediately.
+        This is the simulator's hot loop: the due bucket is processed in a
+        fused inner loop (pop, advance, fire) with the periodic heap merged
+        in by exact ``(when, seq)`` order, and all lookups hoisted.
+        ``self._observer`` and ``_tally_after`` are deliberately re-read
+        after each callback so a callback installing a profiler or
+        tightening ``max_events`` mid-run takes effect immediately.
         """
-        queue = self._queue
         clock = self.clock
-        advance = clock.advance_to
         pop = heapq.heappop
-        tally_after = self._tally_after
-        while queue:
-            when = queue[0][0]
-            if when > deadline:
-                break
-            timer = pop(queue)[2]
-            if timer._cancelled or timer._fired:
+        push = heapq.heappush
+        pheap = self._pheap
+        seq = self._seq
+        free = self._free
+        getref = _getrefcount
+        recycle_refs = _RECYCLE_REFS
+        while True:
+            if (
+                self._pending_periodic
+                and self._pending == self._pending_periodic
+                and not self._quiesce_blockers
+                and self.quiescence_enabled
+            ):
+                if not self._run_quiescent(deadline):
+                    break
                 continue
-            advance(when)
-            timer._fired = True
-            self._events_processed += 1
-            if self._events_processed > tally_after:
-                self._tally_near_budget(timer.label)
-            observer = self._observer
-            if observer is not None:
-                observer.timer_fired(timer, when, len(queue))
-            timer.callback(*timer.args)
+            found = self._next_wheel_bucket()
+            if found is None:
+                # No live one-shot inside the wheel window.
+                pnode = self._prune_periodic()
+                overflow = self._overflow
+                onode = overflow[0] if overflow else None
+                if pnode is not None and (
+                    onode is None
+                    or pnode[0] < onode[0]
+                    or (pnode[0] == onode[0] and pnode[1] < onode[1])
+                ):
+                    if pnode[0] > deadline:
+                        break
+                    self._fire_periodic(pnode)
+                    continue
+                if onode is None or onode[0] > deadline:
+                    break
+                # Batch-step the window toward the far-future event; the
+                # next iteration migrates it into the wheel and fires it.
+                clock.advance_to(onode[0])
+                self._cursor = int(onode[0] * _INV_TICK)
+                continue
+            wtick, bucket = found
             tally_after = self._tally_after
-        if deadline > clock.now:
-            advance(deadline)
+            deadline_hit = False
+            while bucket:
+                node = bucket[0]
+                when = node[0]
+                if pheap:
+                    pnode = pheap[0]
+                    if pnode[0] < when or (pnode[0] == when and pnode[1] < node[1]):
+                        ptimer = pnode[2]
+                        if ptimer._cancelled:
+                            pop(pheap)
+                            continue
+                        pwhen = pnode[0]
+                        if pwhen > deadline:
+                            deadline_hit = True
+                            break
+                        pop(pheap)
+                        clock._now = pwhen
+                        self._cursor = int(pwhen * _INV_TICK)
+                        self._events_processed += 1
+                        if self._events_processed > tally_after:
+                            self._tally_near_budget(ptimer.label)
+                        observer = self._observer
+                        if observer is not None:
+                            observer.timer_fired(ptimer, pwhen, self._pending - 1)
+                        ptimer.callback(*ptimer.args)
+                        nxt = pwhen + ptimer.period  # type: ignore[attr-defined]
+                        ptimer.when = nxt
+                        push(pheap, (nxt, next(seq), ptimer))
+                        tally_after = self._tally_after
+                        if self._cursor != wtick:
+                            # The periodic fired in an earlier tick; its
+                            # callback may have scheduled into a bucket
+                            # before this one — rescan the wheel.
+                            break
+                        continue
+                if when > deadline:
+                    deadline_hit = True
+                    break
+                pop(bucket)
+                timer = node[2]
+                if timer._cancelled:
+                    continue
+                clock._now = when  # bucket order guarantees monotonicity
+                self._cursor = wtick
+                timer._fired = True
+                timer._bucket = None
+                self._pending -= 1
+                self._events_processed += 1
+                if self._events_processed > tally_after:
+                    self._tally_near_budget(timer.label)
+                observer = self._observer
+                if observer is not None:
+                    observer.timer_fired(timer, when, self._pending)
+                timer.callback(*timer.args)
+                tally_after = self._tally_after
+                if (
+                    getref is not None
+                    and len(free) < _FREELIST_MAX
+                    and getref(timer) == recycle_refs
+                ):
+                    # Nothing outside this loop holds the handle: recycle.
+                    timer.callback = None  # type: ignore[assignment]
+                    timer.args = ()
+                    timer._sim = None
+                    free.append(timer)
+            if deadline_hit:
+                break
+        if deadline > clock._now:
+            clock.advance_to(deadline)
+            self._cursor = int(deadline * _INV_TICK)
 
     def run(self, for_duration: float | None = None) -> None:
         """Run for ``for_duration`` seconds, or drain the queue when None."""
         if for_duration is not None:
-            self.run_until(self.now + for_duration)
+            self.run_until(self.clock._now + for_duration)
             return
         while self.step():
             pass

@@ -18,6 +18,7 @@ probes silences both timers while delivering nothing.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Callable, TYPE_CHECKING
 
@@ -119,6 +120,12 @@ class TcpConnection:
         self._dup_acks = 0
         self._retx_timer = None
         self._keepalive_timer = None
+        # Hot timer labels, interned once: retransmit and keep-alive timers
+        # are re-armed per segment, and building a fresh f-string each time
+        # dominated the arm cost (and defeated the scheduler's label
+        # interning, which only dedupes identical objects cheaply).
+        self._retx_label = sys.intern(f"tcp-retx:{local_port}")
+        self._ka_label = sys.intern(f"tcp-ka:{local_port}")
         self._probes_outstanding = 0
         self._fin_sent = False
         self._fin_queued = False
@@ -410,7 +417,7 @@ class TcpConnection:
     def _arm_retx_timer(self, rto: float) -> None:
         self._cancel_retx_timer()
         self._retx_timer = self.sim.schedule(
-            rto, self._on_retx_timeout, rto, label=f"tcp-retx:{self.local_port}"
+            rto, self._on_retx_timeout, rto, label=self._retx_label
         )
 
     def _cancel_retx_timer(self) -> None:
@@ -473,7 +480,7 @@ class TcpConnection:
         self._keepalive_timer = self.sim.schedule(
             self.config.keepalive_idle,
             self._on_keepalive_idle,
-            label=f"tcp-ka:{self.local_port}",
+            label=self._ka_label,
         )
 
     def _on_keepalive_idle(self) -> None:
@@ -496,7 +503,7 @@ class TcpConnection:
         self._keepalive_timer = self.sim.schedule(
             self.config.keepalive_probe_interval,
             self._on_keepalive_idle,
-            label=f"tcp-ka:{self.local_port}",
+            label=self._ka_label,
         )
 
     # ------------------------------------------------------------- teardown

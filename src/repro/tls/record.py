@@ -60,6 +60,75 @@ def derive_keys(master_secret: bytes, role: str) -> tuple[bytes, bytes]:
     return enc, mac
 
 
+class _Memo:
+    """Bounded pair memo for crypto shared between a writer and a reader.
+
+    Both endpoints of a simulated session live in one process, so every
+    keystream and record MAC is computed twice: once by the sealing
+    :class:`RecordWriter` and once more — over byte-identical inputs — by
+    the verifying :class:`RecordReader`.  The memo stores the writer-side
+    result keyed on the full input (the key material, the **sequence
+    number** the keystream/MAC is derived from, and the data) so the
+    reader's recomputation is a dictionary hit.
+
+    Entries are popped when consumed (each record is opened exactly once;
+    a replay or a tampered record changes the key and recomputes from
+    scratch, so verification failures are never masked) and evicted FIFO
+    past ``max_entries`` so records that were sealed but never delivered
+    cannot grow the memo without bound.
+    """
+
+    __slots__ = ("cache", "max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.cache: dict = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, key):
+        """Pop and return the memoised value, or None on a miss."""
+        value = self.cache.pop(key, None)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        cache = self.cache
+        if len(cache) >= self.max_entries:
+            del cache[next(iter(cache))]
+        cache[key] = value
+
+    def clear(self) -> None:
+        self.cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Keystream memo: ``(enc_key, seq, length) -> keystream bytes``.
+_KEYSTREAM_MEMO = _Memo()
+#: Record-MAC memo: ``(mac_key, seq, content_type, ciphertext) -> mac``.
+_MAC_MEMO = _Memo()
+
+
+def memo_stats() -> dict[str, int]:
+    """Hit/miss counters for the shared TLS encode memos (see docs/API.md)."""
+    return {
+        "keystream_hits": _KEYSTREAM_MEMO.hits,
+        "keystream_misses": _KEYSTREAM_MEMO.misses,
+        "mac_hits": _MAC_MEMO.hits,
+        "mac_misses": _MAC_MEMO.misses,
+    }
+
+
+def reset_memo() -> None:
+    """Drop all memoised TLS state and zero the counters (test isolation)."""
+    _KEYSTREAM_MEMO.clear()
+    _MAC_MEMO.clear()
+
+
 def _keystream(enc_key: bytes, seq: int, length: int) -> bytes:
     """Deterministic per-record keystream (counter-mode style)."""
     out = bytearray()
@@ -72,9 +141,35 @@ def _keystream(enc_key: bytes, seq: int, length: int) -> bytes:
     return bytes(out[:length])
 
 
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    """XOR ``data`` with ``keystream`` (same length) via big-int arithmetic."""
+    size = len(data)
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+    ).to_bytes(size, "big")
+
+
 def _mac_input(seq: int, content_type: int, ciphertext: bytes) -> bytes:
     header = struct.pack("!B2sH", content_type, TLS_VERSION, len(ciphertext))
     return seq.to_bytes(8, "big") + header + ciphertext
+
+
+def _record_mac(mac_key: bytes, seq: int, content_type: int, ciphertext: bytes) -> bytes:
+    """Truncated record HMAC, memoised between sealing and verification.
+
+    The memo key carries every HMAC input, so a hit is byte-for-byte the
+    value a recomputation would produce; any difference in the record a
+    verifier sees (tampered ciphertext, shifted seq, altered type) misses
+    the memo and is recomputed honestly — and then fails comparison.
+    """
+    key = (mac_key, seq, content_type, ciphertext)
+    mac = _MAC_MEMO.take(key)
+    if mac is None:
+        mac = hmac.new(
+            mac_key, _mac_input(seq, content_type, ciphertext), hashlib.sha256
+        ).digest()[:MAC_BYTES]
+        _MAC_MEMO.put(key, mac)
+    return mac
 
 
 class RecordWriter:
@@ -86,15 +181,24 @@ class RecordWriter:
         self.seq = 0
 
     def seal(self, content_type: int, plaintext: bytes) -> bytes:
-        """Encrypt + MAC + frame one record; advances the sequence number."""
+        """Encrypt + MAC + frame one record; advances the sequence number.
+
+        The keystream and MAC are published to the shared memos so the
+        peer's :class:`RecordReader` — which must derive byte-identical
+        values from the same (key, seq) inputs — reuses them instead of
+        recomputing the hashes.
+        """
         if len(plaintext) > MAX_RECORD_PAYLOAD:
             raise ValueError("plaintext exceeds maximum record size")
-        ciphertext = bytes(
-            a ^ b for a, b in zip(plaintext, _keystream(self._enc_key, self.seq, len(plaintext)))
-        )
-        mac = hmac.new(
-            self._mac_key, _mac_input(self.seq, content_type, ciphertext), hashlib.sha256
-        ).digest()[:MAC_BYTES]
+        seq = self.seq
+        length = len(plaintext)
+        ks_key = (self._enc_key, seq, length)
+        keystream = _KEYSTREAM_MEMO.take(ks_key)
+        if keystream is None:
+            keystream = _keystream(self._enc_key, seq, length)
+        _KEYSTREAM_MEMO.put(ks_key, keystream)
+        ciphertext = _xor(plaintext, keystream)
+        mac = _record_mac(self._mac_key, seq, content_type, ciphertext)
         self.seq += 1
         header = struct.pack("!B2sH", content_type, TLS_VERSION, len(ciphertext) + MAC_BYTES)
         return header + ciphertext + mac
@@ -140,22 +244,21 @@ class RecordReader:
         return TlsRecord(content_type, body[:-MAC_BYTES], body[-MAC_BYTES:])
 
     def _open(self, record: TlsRecord) -> tuple[int, bytes]:
-        expected = hmac.new(
-            self._mac_key,
-            _mac_input(self.seq, record.content_type, record.ciphertext),
-            hashlib.sha256,
-        ).digest()[:MAC_BYTES]
+        # Memo hit when the record is exactly what the peer sealed at this
+        # seq; any tampering, replay, or reordering changes an input and
+        # recomputes the HMAC from scratch — then fails the comparison.
+        expected = _record_mac(
+            self._mac_key, self.seq, record.content_type, record.ciphertext
+        )
         if not hmac.compare_digest(expected, record.mac):
             raise MacVerificationError(
                 f"record MAC mismatch at seq={self.seq} "
                 "(forged, modified, replayed, dropped, or reordered data)"
             )
-        plaintext = bytes(
-            a ^ b
-            for a, b in zip(
-                record.ciphertext,
-                _keystream(self._enc_key, self.seq, len(record.ciphertext)),
-            )
-        )
+        length = len(record.ciphertext)
+        keystream = _KEYSTREAM_MEMO.take((self._enc_key, self.seq, length))
+        if keystream is None:
+            keystream = _keystream(self._enc_key, self.seq, length)
+        plaintext = _xor(record.ciphertext, keystream)
         self.seq += 1
         return record.content_type, plaintext

@@ -12,6 +12,16 @@ endpoints redeem the token from the escrow; attacker code in
 confidentiality but no timeliness — the decoupling at the heart of the
 paper.  Any liveness checking must come from TCP below (forgeable) or the
 application above (what the paper measures).
+
+**Performance.**  Every record a session seals or opens goes through the
+shared encode memo in :mod:`repro.tls.record`: the writer publishes each
+(seq-keyed) keystream and record MAC, and the peer's reader pops them
+instead of recomputing the hashes — halving per-record crypto for the
+keep-alive traffic that dominates a simulated day (see "Event-core
+performance" in docs/API.md).  The memo is a fast path, never a trust
+path: tampering, replay, or reordering changes a memo key component and
+falls back to an honest recompute that still raises
+:class:`~repro.tls.errors.MacVerificationError`.
 """
 
 from __future__ import annotations

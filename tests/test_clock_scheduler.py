@@ -157,17 +157,21 @@ class TestRunSemantics:
 
 
 class TestHotLoop:
-    """Regression guards for the tuple-heap-node fused ``run_until`` loop."""
+    """Regression guards for the timer-wheel fused ``run_until`` loop."""
 
-    def test_heap_nodes_are_plain_tuples(self, sim):
+    def test_wheel_nodes_are_plain_tuples(self, sim):
         # The hot loop relies on C-level tuple comparison; a dataclass node
         # regresses events/sec by ~2x (see benchmarks/bench_scheduler.py).
-        sim.schedule(1.0, lambda: None)
-        node = sim._queue[0]
+        from repro.simnet.scheduler import _INV_TICK, WHEEL_MASK
+
+        timer = sim.schedule(1.0, lambda: None)
+        bucket = sim._buckets[int(1.0 * _INV_TICK) & WHEEL_MASK]
+        assert bucket is timer._bucket
+        node = bucket[0]
         assert type(node) is tuple
-        when, seq, timer = node
+        when, seq, held = node
         assert (when, seq) == (1.0, 0)
-        assert timer.active
+        assert held is timer and timer.active
 
     def test_run_until_ties_break_by_insertion_order(self, sim):
         order = []
@@ -331,3 +335,231 @@ class TestDeterminism:
         for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
             if t1 == t2:
                 assert i1 < i2
+
+
+class TestTimerWheel:
+    def test_overflow_migrates_into_wheel(self, sim):
+        """A timer beyond the 8s wheel horizon starts in the overflow heap
+        and still fires at the right instant after migration."""
+        from repro.simnet.scheduler import TICK, WHEEL_SIZE
+
+        horizon = TICK * WHEEL_SIZE
+        fired = []
+        far = sim.schedule(horizon * 3.5, lambda: fired.append(sim.now), label="far")
+        assert far._bucket is sim._overflow
+        sim.schedule(0.1, lambda: fired.append(sim.now), label="near")
+        sim.run_until(horizon * 4)
+        assert fired == [0.1, horizon * 3.5]
+
+    def test_cancel_removes_node_from_bucket(self, sim):
+        """True cancellation: cancelling the last timer in a bucket frees
+        the node immediately instead of leaving a tombstone to pop later."""
+        timer = sim.schedule(1.0, lambda: None, label="doomed")
+        bucket = timer._bucket
+        assert bucket is not None and len(bucket) == 1
+        timer.cancel()
+        assert not bucket
+        assert sim.pending_events == 0
+
+    def test_cancel_interior_node_is_lazy(self, sim):
+        """Cancelling a non-tail node leaves a tombstone (skipped at pop)."""
+        first = sim.schedule(1.0, lambda: None, label="a")
+        sim.schedule(1.0 + 1e-4, lambda: None, label="b")
+        bucket = first._bucket
+        first.cancel()
+        assert bucket is not None and len(bucket) == 2  # tombstone remains
+        assert sim.pending_events == 1
+        sim.run_until(2.0)
+        assert sim.events_processed == 1
+
+    def test_pending_events_tracks_live_timers(self, sim):
+        timers = [sim.schedule(i + 1.0, lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        timers[0].cancel()
+        assert sim.pending_events == 4
+        sim.run_until(3.0)
+        assert sim.pending_events == 2
+
+    def test_fired_timer_recycled_through_free_list(self, sim):
+        """A fired one-shot with no surviving references is recycled; a
+        fresh schedule reuses the object without semantic bleed-through."""
+        from repro.simnet.scheduler import _RECYCLE_REFS
+
+        if _RECYCLE_REFS is None:
+            pytest.skip("refcount recycling disabled on this interpreter")
+        sim.schedule(0.5, lambda: None, label="recycled")
+        sim.run_until(1.0)
+        assert len(sim._free) == 1
+        recycled = sim._free[-1]
+        fresh = sim.schedule(0.5, lambda: None, label="fresh")
+        assert fresh is recycled
+        assert fresh.active and not fresh._fired and fresh.label == "fresh"
+        sim.run_until(2.0)
+        assert sim.events_processed == 2
+
+    def test_held_timer_is_not_recycled(self, sim):
+        """Holding the handle keeps a fired timer out of the free list, so
+        a stale cancel() can never hit a recycled object."""
+        held = sim.schedule(0.5, lambda: None, label="held")
+        sim.run_until(1.0)
+        assert held not in sim._free
+        held.cancel()  # harmless: the timer already fired
+        fresh = sim.schedule(0.5, lambda: None)
+        assert fresh is not held
+        sim.run_until(2.0)
+        assert sim.events_processed == 2
+
+
+class TestPeriodicAndQuiescence:
+    def test_schedule_periodic_fires_every_period(self, sim):
+        fired = []
+        sim.schedule_periodic(1.0, lambda: fired.append(sim.now), label="ka")
+        sim.run_until(4.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_first_overrides_initial_delay(self, sim):
+        fired = []
+        sim.schedule_periodic(2.0, lambda: fired.append(sim.now), first=0.5)
+        sim.run_until(5.0)
+        assert fired == [0.5, 2.5, 4.5]
+
+    def test_non_positive_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule_periodic(0.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_periodic(-1.0, lambda: None)
+
+    def test_cancel_stops_periodic(self, sim):
+        fired = []
+        timer = sim.schedule_periodic(1.0, lambda: fired.append(sim.now))
+        sim.schedule(2.5, timer.cancel)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0]
+        assert sim.pending_events == 0
+
+    def test_periodic_rearm_allocates_no_new_timer(self, sim):
+        seen = set()
+        timer = sim.schedule_periodic(1.0, lambda: seen.add(id(timer)))
+        sim.run_until(5.0)
+        assert seen == {id(timer)}
+
+    def test_quiescent_and_general_paths_fire_identically(self):
+        """The batch-stepping fast path and the general wheel loop must
+        produce the same fire log, event count, and final clock."""
+
+        def drive(sim):
+            log = []
+            sim.schedule_periodic(0.7, lambda: log.append(("a", sim.now)))
+            sim.schedule_periodic(1.1, lambda: log.append(("b", sim.now)))
+            sim.run_until(500.0)
+            return log, sim.events_processed, sim.now
+
+        fast = Simulator()
+        slow = Simulator()
+        slow.block_quiescence()
+        assert drive(fast) == drive(slow)
+
+    def test_oneshot_blocks_quiescence_until_fired(self, sim):
+        """A pending one-shot forces the general path; once it fires the
+        run goes quiescent — and the trace is seamless either way."""
+        fired = []
+        sim.schedule_periodic(1.0, lambda: fired.append(sim.now))
+        sim.schedule(2.5, lambda: fired.append(-sim.now), label="burst")
+        sim.run_until(6.0)
+        assert fired == [1.0, 2.0, -2.5, 3.0, 4.0, 5.0, 6.0]
+
+    def test_callback_spawning_oneshot_breaks_quiescence(self, sim):
+        """A periodic callback scheduling a one-shot mid-batch must yield
+        back to the general loop so the one-shot fires on time."""
+        log = []
+
+        def beat():
+            log.append(("beat", sim.now))
+            if sim.now == 3.0:
+                sim.schedule(0.25, lambda: log.append(("spawn", sim.now)))
+
+        sim.schedule_periodic(1.0, beat)
+        sim.run_until(5.0)
+        assert log == [
+            ("beat", 1.0), ("beat", 2.0), ("beat", 3.0),
+            ("spawn", 3.25), ("beat", 4.0), ("beat", 5.0),
+        ]
+
+    def test_block_unblock_quiescence_is_counted(self, sim):
+        sim.block_quiescence()
+        sim.block_quiescence()
+        assert sim.quiescence_blocked
+        sim.unblock_quiescence()
+        assert sim.quiescence_blocked
+        sim.unblock_quiescence()
+        assert not sim.quiescence_blocked
+        with pytest.raises(RuntimeError):
+            sim.unblock_quiescence()
+
+    def test_observer_installed_mid_quiescent_run_takes_effect(self, sim):
+        """Installing an observer from inside a batch-stepped callback must
+        invalidate the fast path's hoisted locals (the _qepoch guard)."""
+        seen = []
+
+        class Obs:
+            def timer_scheduled(self, timer, now):
+                pass
+
+            def timer_fired(self, timer, now, depth):
+                seen.append(now)
+
+        def beat():
+            if sim.now == 2.0:
+                sim.set_observer(Obs())
+
+        sim.schedule_periodic(1.0, beat)
+        sim.run_until(5.0)
+        # The fire that installed the observer was already in flight; every
+        # subsequent fire must be observed.
+        assert seen == [3.0, 4.0, 5.0]
+
+    def test_budget_tightened_mid_quiescent_run_takes_effect(self, sim):
+        def beat():
+            if sim.now == 2.0:
+                sim.max_events = 4
+
+        sim.schedule_periodic(1.0, beat)
+        with pytest.raises(RuntimeError, match="event budget"):
+            sim.run_until(50.0)
+        assert sim.events_processed == 5  # fifth event tripped the budget
+
+
+class TestTallyBounds:
+    def test_distinct_labels_bounded_by_fold(self, sim):
+        """The near-budget tally caps distinct labels; the long tail folds
+        into <other> instead of growing one dict entry per label."""
+        sim.max_events = 10_000
+        cap = Simulator.TALLY_MAX_LABELS
+
+        count = [0]
+
+        def spin():
+            count[0] += 1
+            sim.schedule(0.001, spin, label=f"hot{count[0] % (cap * 2)}")
+
+        sim.schedule(0.001, spin, label="seed")
+        with pytest.raises(RuntimeError, match="event budget"):
+            sim.run_until(1e9)
+        # At most the cap plus the fold bucket itself.
+        assert len(sim._label_fires) <= cap + 1
+        assert "<other>" in sim._label_fires
+
+    def test_tally_decay_keeps_persistent_labels_on_top(self, sim):
+        sim.max_events = 10_000
+        sim._tally_after = 0  # tally from the first event
+        window = Simulator.BUDGET_TALLY_WINDOW
+
+        def spin():
+            sim.schedule(0.001, spin, label="steady")
+
+        sim.schedule(0.001, spin, label="steady")
+        with pytest.raises(RuntimeError, match="steady"):
+            sim.run_until(1e9)
+        # Decay halves the counts; the tally total stays under one window
+        # even though 10k+ events fired.
+        assert sim._tally_total <= 2 * window

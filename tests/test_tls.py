@@ -13,6 +13,8 @@ from repro.tls.record import (
     RecordReader,
     RecordWriter,
     derive_keys,
+    memo_stats,
+    reset_memo,
 )
 from repro.tls.session import KeyEscrow, RECORD_OVERHEAD, TlsSession
 from repro.tcp.stack import TcpStack
@@ -249,3 +251,82 @@ class TestTlsSession:
         conn = stack.connect("34.9.9.9", 443)
         with pytest.raises(ValueError):
             TlsSession(conn, "peer")
+
+
+class TestEncodeMemo:
+    """The shared writer/reader encode memo: fast path, never a trust path."""
+
+    def setup_method(self):
+        reset_memo()
+
+    def teardown_method(self):
+        reset_memo()
+
+    def test_reader_hits_what_writer_published(self):
+        writer, reader = _channel()
+        n = 8
+        wire = b"".join(
+            writer.seal(CONTENT_APPLICATION, bytes([i]) * 20) for i in range(n)
+        )
+        assert reader.feed(wire) == [
+            (CONTENT_APPLICATION, bytes([i]) * 20) for i in range(n)
+        ]
+        stats = memo_stats()
+        # Writer computes (miss) and publishes; reader pops (hit) — for
+        # both the keystream and the record MAC of every record.
+        assert stats["keystream_misses"] == n and stats["keystream_hits"] == n
+        assert stats["mac_misses"] == n and stats["mac_hits"] == n
+
+    def test_tampered_record_still_rejected_with_warm_memo(self):
+        writer, reader = _channel()
+        wire = bytearray(writer.seal(CONTENT_APPLICATION, b"integrity matters"))
+        wire[HEADER_BYTES + 2] ^= 0x01  # flip one ciphertext bit
+        with pytest.raises(MacVerificationError):
+            reader.feed(bytes(wire))
+        # The mangled ciphertext changed the memo key, so the check was an
+        # honest recompute, not a stale hit.
+        assert memo_stats()["mac_hits"] == 0
+
+    def test_replay_rejected_after_memo_consumed(self):
+        writer, reader = _channel()
+        wire = writer.seal(CONTENT_APPLICATION, b"once only")
+        assert reader.feed(wire) == [(CONTENT_APPLICATION, b"once only")]
+        # Pop-on-hit: the memo entry is gone, and the reader's seq moved,
+        # so the replayed copy recomputes against seq=1 and fails.
+        with pytest.raises(MacVerificationError):
+            reader.feed(wire)
+
+    def test_memo_is_bounded(self):
+        from repro.tls.record import _KEYSTREAM_MEMO, _MAC_MEMO
+
+        writer, _ = _channel()
+        for _ in range(_KEYSTREAM_MEMO.max_entries + 100):
+            writer.seal(CONTENT_APPLICATION, b"undelivered")
+        assert len(_KEYSTREAM_MEMO.cache) <= _KEYSTREAM_MEMO.max_entries
+        assert len(_MAC_MEMO.cache) <= _MAC_MEMO.max_entries
+
+    def test_sealed_bytes_identical_cold_and_warm(self):
+        payloads = [bytes([i]) * (i + 1) for i in range(6)]
+        warm_writer, warm_reader = _channel()
+        warm = []
+        for p in payloads:
+            wire = warm_writer.seal(CONTENT_APPLICATION, p)
+            warm_reader.feed(wire)  # keeps the memo cycling hit/put
+            warm.append(wire)
+        reset_memo()
+        cold_writer, _ = _channel()
+        cold = []
+        for p in payloads:
+            cold.append(cold_writer.seal(CONTENT_APPLICATION, p))
+            reset_memo()  # force every computation from scratch
+        assert warm == cold
+
+    def test_reset_memo_clears_state_and_counters(self):
+        from repro.tls.record import _KEYSTREAM_MEMO
+
+        writer, reader = _channel()
+        reader.feed(writer.seal(CONTENT_APPLICATION, b"x"))
+        assert memo_stats()["keystream_misses"] == 1
+        reset_memo()
+        assert all(v == 0 for v in memo_stats().values())
+        assert not _KEYSTREAM_MEMO.cache
