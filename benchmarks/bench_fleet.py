@@ -1,0 +1,82 @@
+"""Bench: the fleet engine — a sampled home population, end to end.
+
+Runs one fleet of ``REPRO_BENCH_HOMES`` homes (default 64) serially and
+across a worker pool, asserts the per-home digests are byte-identical (the
+fleet determinism contract), and records homes/sec plus peak-RSS-per-home
+into ``BENCH_campaign.json`` under the regression gate.  Throughput is the
+number that tracks the "millions of homes" north star; RSS-per-home is
+what bounds how many homes one worker can batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.fleet import FleetRunner
+from repro.parallel import fork_available
+
+from _perf import baseline_matches, check_regression, cpu_comparable, record_bench
+from conftest import bench_jobs
+
+
+def bench_homes(default: int = 64) -> int:
+    return int(os.environ.get("REPRO_BENCH_HOMES", default))
+
+
+def _run(homes: int, jobs: int):
+    runner = FleetRunner(homes=homes, base_seed=0, jobs=jobs,
+                         cache=False, manifest=False)
+    start = time.perf_counter()
+    report = runner.run(keep_rows=False)
+    wall = time.perf_counter() - start
+    peak_rss_kb = max(
+        (row.peak_rss_kb for row in runner.runner.last_shard_rows), default=0
+    )
+    return report, wall, peak_rss_kb
+
+
+def test_fleet_campaign(once):
+    homes = bench_homes()
+    jobs = bench_jobs()
+
+    serial_report, serial_s, serial_rss = _run(homes, 1)
+    parallel_report, parallel_s, parallel_rss = once(_run, homes, jobs)
+
+    # The determinism contract: worker count must not move a single home.
+    assert parallel_report.digests == serial_report.digests
+    assert parallel_report.completed == homes
+
+    homes_per_sec = homes / parallel_s if parallel_s else 0.0
+    peak_rss_kb = max(serial_rss, parallel_rss)
+    rss_kb_per_home = peak_rss_kb / homes if homes else 0.0
+    entry = record_bench(
+        "fleet",
+        homes=homes,
+        jobs=jobs,
+        serial_seconds=round(serial_s, 3),
+        parallel_seconds=round(parallel_s, 3),
+        homes_per_sec=round(homes_per_sec, 1),
+        serial_homes_per_sec=round(homes / serial_s if serial_s else 0.0, 1),
+        events=parallel_report.events,
+        attacked_homes=parallel_report.attacked,
+        peak_rss_kb=peak_rss_kb,
+        rss_kb_per_home=round(rss_kb_per_home, 1),
+        fork_available=fork_available(),
+    )
+    print()
+    print(f"fleet: {homes} homes, {parallel_report.events} events, "
+          f"{parallel_report.attacked} attacked")
+    print(f"serial {serial_s:.2f}s vs jobs={jobs} {parallel_s:.2f}s; "
+          f"{homes_per_sec:.1f} homes/s, {rss_kb_per_home:.0f} KiB RSS/home "
+          f"-> {entry}")
+    # Throughput is hardware-bound: gate only against a baseline that
+    # measured the same workload on a comparable machine.  The serial
+    # number gates a per-home fixed-cost regression; the parallel one
+    # additionally needs matching jobs.
+    if baseline_matches("fleet", homes=homes):
+        check_regression("fleet", "serial_homes_per_sec",
+                         homes / serial_s if serial_s else 0.0)
+    if cpu_comparable("fleet") and baseline_matches("fleet", homes=homes,
+                                                    jobs=jobs):
+        check_regression("fleet", "homes_per_sec", homes_per_sec)

@@ -427,6 +427,80 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown cache action {args.action!r}")
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet campaigns: run a sampled population, find its breaking point,
+    or dump sampled home specs.
+
+    Deterministic facts (counts, digests, specs) go to stdout so CI can
+    byte-diff two runs; timing goes to stderr.
+    """
+    import json
+
+    from .fleet import FleetSampler, run_fleet
+
+    if args.action == "spec":
+        sampler = FleetSampler(args.seed)
+        for spec in sampler.sample_many(args.homes, start=args.start):
+            record = spec.to_dict()
+            record["digest"] = spec.digest()
+            print(json.dumps(record, sort_keys=True))
+        return 0
+
+    if args.action == "breaking-point":
+        from .experiments.breaking_point import run_breaking_point
+
+        report = run_breaking_point(
+            start_homes=args.start_homes,
+            growth_factor=args.growth_factor,
+            max_steps=args.max_steps,
+            seed=args.seed,
+            jobs=args.jobs,
+            batch_size=args.batch_size,
+            home_event_budget=args.home_event_budget,
+            step_event_limit=args.step_event_limit,
+            wall_limit=args.wall_limit,
+            success_floor=args.success_floor,
+            cache=args.cache,
+            manifest=_manifest_for(args, multi=True),
+        )
+        print(report.render())
+        for step in report.steps:
+            if step.manifest_path is not None:
+                print(f"manifest: {step.manifest_path}")
+        return 0
+
+    report = run_fleet(
+        homes=args.homes,
+        seed=args.seed,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        event_budget=args.home_event_budget,
+        cache=args.cache,
+        manifest=_manifest_for(args),
+        keep_rows=False,
+        stream_to=args.stream,
+    )
+    print(
+        f"fleet: {report.homes} home(s), {report.completed} completed, "
+        f"{report.attacked} attacked, {report.impaired} impaired"
+    )
+    print(f"events: {report.events}  "
+          f"notifications delivered: {report.notifications_delivered}")
+    print(f"fleet digest: {report.fleet_digest}")
+    if args.digests:
+        for index, digest in enumerate(report.digests):
+            print(f"home {index}: {digest}")
+    if report.results_path is not None:
+        print(f"results: {report.results_path}")
+    _print_manifest(args, "fleet")
+    print(
+        f"{report.wall_seconds:.2f}s wall, "
+        f"{report.homes_per_second:.1f} homes/s ({report.runner_summary})",
+        file=sys.stderr,
+    )
+    return 0 if report.completed == report.homes else 1
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     status = 0
     for runner in (
@@ -562,6 +636,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="`gc` removes every entry, not just stale/corrupt ones",
     )
     cache.set_defaults(func=_cmd_cache)
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "population-scale campaigns: run a fleet of sampled homes, "
+            "climb a step-load ladder to its breaking point, or dump "
+            "sampled home specs"
+        ),
+    )
+    fleet.add_argument(
+        "action", nargs="?", choices=["run", "breaking-point", "spec"],
+        default="run",
+        help=(
+            "run: simulate a fleet of --homes sampled homes (default); "
+            "breaking-point: N -> 2N -> 4N... until a budget trips; "
+            "spec: print sampled home specs as JSONL without running them"
+        ),
+    )
+    fleet.add_argument(
+        "--homes", type=int, default=64, metavar="N",
+        help="fleet size for run/spec (default 64)",
+    )
+    fleet.add_argument(
+        "--start", type=int, default=0, metavar="I",
+        help="first home index for `spec` (default 0)",
+    )
+    fleet.add_argument(
+        "--batch-size", type=int, default=16, metavar="N",
+        help=(
+            "homes per shard (default 16; fixed per campaign so cache "
+            "keys never depend on --jobs)"
+        ),
+    )
+    fleet.add_argument(
+        "--home-event-budget", type=int, default=None, metavar="N",
+        help=(
+            "per-home scheduler event cap; a home over budget counts as "
+            "failed instead of aborting the fleet"
+        ),
+    )
+    fleet.add_argument(
+        "--stream", type=str, default=None, metavar="PATH",
+        help="append one JSON result row per home to PATH (run only)",
+    )
+    fleet.add_argument(
+        "--digests", action="store_true",
+        help="print every per-home digest (run only; CI diffs this)",
+    )
+    fleet.add_argument(
+        "--start-homes", type=int, default=4, metavar="N",
+        help="breaking-point: first rung of the ladder (default 4)",
+    )
+    fleet.add_argument(
+        "--growth-factor", type=int, default=2, metavar="K",
+        help="breaking-point: population multiplier per step (default 2)",
+    )
+    fleet.add_argument(
+        "--max-steps", type=int, default=4, metavar="S",
+        help="breaking-point: maximum ladder steps (default 4)",
+    )
+    fleet.add_argument(
+        "--step-event-limit", type=int, default=None, metavar="N",
+        help="breaking-point: stop when one step exceeds N simulated events",
+    )
+    fleet.add_argument(
+        "--wall-limit", type=float, default=None, metavar="SECONDS",
+        help="breaking-point: stop when one step takes longer than this",
+    )
+    fleet.add_argument(
+        "--success-floor", type=float, default=0.95, metavar="F",
+        help=(
+            "breaking-point: stop when the completed-home fraction drops "
+            "below F (default 0.95)"
+        ),
+    )
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -1,0 +1,174 @@
+"""Parameterised home specifications: one sampled smart home, as data.
+
+A :class:`HomeSpec` is everything needed to reconstruct one simulated
+smart home byte-identically anywhere — in this process, in a forked
+worker, or from a cache entry months later: the derived seed, the device
+mix, the automation rule set (as DSL text), the fault profile, the
+attacker's presence and hold schedule, and the stimulus timeline.  Specs
+are frozen, picklable, JSON-round-trippable, and schema-versioned: a
+loader refuses specs written by a *newer* schema rather than silently
+misreading them, mirroring the run-manifest policy.
+
+The spec is deliberately textual where it can be (rule DSL lines,
+catalogue labels, fault profile names) so a spec dump is readable and a
+golden-pinned digest of one is reviewable in a test diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..cache.keys import canonical
+
+#: Bump when the spec layout changes incompatibly; loaders reject newer
+#: specs (the sampler always emits the current schema).
+SPEC_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """One physical stimulation of one device, ``at`` seconds after settle."""
+
+    at: float
+    device_id: str
+    value: str
+
+    def to_tuple(self) -> tuple[float, str, str]:
+        return (self.at, self.device_id, self.value)
+
+
+@dataclass(frozen=True)
+class HomeSpec:
+    """A complete, reconstructible description of one sampled home."""
+
+    home_index: int
+    seed: int
+    #: Catalogue labels (cloud table); hub children pull their hubs in.
+    devices: tuple[str, ...]
+    #: Automation rules as DSL lines (``WHEN ... THEN ...``).
+    rules: tuple[str, ...]
+    #: Named fault profile, or None for an ideal LAN.
+    fault_profile: str | None = None
+    #: Whether a phantom-delay attacker is present on this LAN.
+    attacker: bool = False
+    #: Catalogue label of the device whose events the attacker holds.
+    attack_target: str | None = None
+    #: Seconds after settle at which the attacker arms its hold.
+    hold_at: float = 0.0
+    #: Hold duration in seconds; None = the maximum safe delay.
+    hold_duration: float | None = None
+    #: Simulated seconds the home runs after settling.
+    duration: float = 120.0
+    stimuli: tuple[Stimulus, ...] = ()
+    schema: int = SPEC_SCHEMA
+    #: Free-form provenance (sampler config digest etc.), not identity.
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------- identity
+
+    def digest(self) -> str:
+        """Content address of this spec (identity excludes ``meta``)."""
+        payload = self.to_dict()
+        payload.pop("meta", None)
+        return hashlib.blake2b(canonical(payload), digest_size=16).hexdigest()
+
+    # ---------------------------------------------------------- (de)serialise
+
+    def to_dict(self) -> dict[str, Any]:
+        record = asdict(self)
+        record["devices"] = list(self.devices)
+        record["rules"] = list(self.rules)
+        record["stimuli"] = [list(s.to_tuple()) for s in self.stimuli]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "HomeSpec":
+        schema = record.get("schema", 0)
+        if schema > SPEC_SCHEMA:
+            raise ValueError(
+                f"home spec schema {schema} is newer than supported "
+                f"({SPEC_SCHEMA}); upgrade the tooling"
+            )
+        return cls(
+            home_index=record["home_index"],
+            seed=record["seed"],
+            devices=tuple(record["devices"]),
+            rules=tuple(record["rules"]),
+            fault_profile=record.get("fault_profile"),
+            attacker=record.get("attacker", False),
+            attack_target=record.get("attack_target"),
+            hold_at=record.get("hold_at", 0.0),
+            hold_duration=record.get("hold_duration"),
+            duration=record.get("duration", 120.0),
+            stimuli=tuple(
+                Stimulus(at=s[0], device_id=s[1], value=s[2])
+                for s in record.get("stimuli", ())
+            ),
+            schema=schema,
+            meta=dict(record.get("meta", {})),
+        )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Sampler knobs: the distributions one fleet's homes are drawn from.
+
+    The defaults describe a plausible consumer home — a couple of sensors,
+    sometimes an actuator, a small rule set, a mostly-clean LAN, and an
+    attacker on roughly half the homes (so fleet campaigns measure attacked
+    and baseline populations in one run).  The config rides inside shard
+    kwargs, so it must stay a plain frozen dataclass of JSON-able values.
+    """
+
+    min_sensors: int = 1
+    max_sensors: int = 3
+    max_actuators: int = 2
+    min_rules: int = 1
+    max_rules: int = 4
+    #: Probability a rule carries an IF condition on a second device.
+    condition_probability: float = 0.3
+    #: Probability a rule commands an actuator (vs notifying the user).
+    command_probability: float = 0.6
+    #: Weighted fault-profile draw: (profile name or None, weight).
+    fault_weights: tuple[tuple[str | None, float], ...] = (
+        (None, 0.7), ("lossy", 0.15), ("jittery", 0.15),
+    )
+    attacker_probability: float = 0.5
+    #: Hold duration draw: None (max safe) with this probability, else
+    #: uniform in ``hold_range``.
+    max_safe_hold_probability: float = 0.5
+    hold_range: tuple[float, float] = (10.0, 40.0)
+    #: Per-sensor stimulation count range and home run length range.
+    min_stimuli: int = 1
+    max_stimuli: int = 3
+    duration_range: tuple[float, float] = (60.0, 180.0)
+    schema: int = SPEC_SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        record = asdict(self)
+        record["fault_weights"] = [list(pair) for pair in self.fault_weights]
+        record["hold_range"] = list(self.hold_range)
+        record["duration_range"] = list(self.duration_range)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any] | None) -> "FleetConfig":
+        if record is None:
+            return cls()
+        schema = record.get("schema", 0)
+        if schema > SPEC_SCHEMA:
+            raise ValueError(
+                f"fleet config schema {schema} is newer than supported "
+                f"({SPEC_SCHEMA}); upgrade the tooling"
+            )
+        kwargs = dict(record)
+        kwargs["fault_weights"] = tuple(
+            (pair[0], pair[1]) for pair in record.get("fault_weights", ())
+        ) or cls.fault_weights
+        kwargs["hold_range"] = tuple(record.get("hold_range", cls.hold_range))
+        kwargs["duration_range"] = tuple(
+            record.get("duration_range", cls.duration_range)
+        )
+        return cls(**kwargs)

@@ -458,6 +458,10 @@ class CampaignRunner:
     def completed(self) -> int:
         return int(self._completed.value)
 
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
     #: Seconds between live progress-line repaints.
     PROGRESS_INTERVAL = 0.25
 
@@ -502,6 +506,11 @@ class CampaignRunner:
         )
         done, total = self._run_done, self._run_total
         line = f"{self.campaign}: {done}/{total} shard(s)"
+        # Guard the percentage (and everything derived from counts) against
+        # an empty campaign: a fleet of zero homes produces zero shards, and
+        # ``done / total`` must not take the line down with it.
+        if total:
+            line += f" ({100.0 * done / total:.0f}%)"
         if done and total and done < total:
             eta = elapsed / done * (total - done)
             line += f"  eta {eta:.1f}s"
