@@ -501,6 +501,86 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if report.completed == report.homes else 1
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Adversarial schedule search over generated TAP rule sets.
+
+    Deterministic facts (hits, digests, specs) go to stdout so CI can
+    byte-diff two runs; timing goes to stderr.
+    """
+    import json
+
+    from .search import (
+        RuleSetGenerator,
+        SearchConfig,
+        TABLE3_EXPECTED,
+        plan_specs,
+        run_search,
+        table3_specs,
+    )
+
+    config = SearchConfig(max_candidates=args.budget)
+
+    if args.action == "spec":
+        generator = RuleSetGenerator(args.seed, config)
+        for spec in generator.sample_many(args.programs, start=args.start):
+            record = spec.to_dict()
+            record["digest"] = spec.digest()
+            print(json.dumps(record, sort_keys=True))
+        return 0
+
+    if args.action == "table3":
+        from .search.corpus import corpus_digest
+
+        specs = table3_specs(args.seed)
+        outcomes = plan_specs(specs, config)
+        hits = []
+        status = 0
+        for spec, outcome in zip(specs, outcomes):
+            case = -spec.program_index
+            expected = TABLE3_EXPECTED[case]
+            hit = outcome["hit"]
+            got = hit["violation"] if hit else "none"
+            marker = "ok" if got == expected else "MISMATCH"
+            if got != expected:
+                status = 1
+            holds = len(hit["schedule"]) if hit else 0
+            print(f"case {case:2d}: {got:<20} expected {expected:<20} "
+                  f"holds={holds} {marker}")
+            if hit:
+                hits.append(hit)
+        print(f"rediscovered {len(hits)}/{len(specs)} cases")
+        print(f"corpus digest: {corpus_digest(hits)}")
+        return status
+
+    report = run_search(
+        programs=args.programs,
+        seed=args.seed,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        config=config,
+        cache=args.cache,
+        manifest=_manifest_for(args),
+        corpus_dir=args.corpus,
+    )
+    for hit in report.hits:
+        print(f"program {hit['program_index']:4d}: {hit['violation']:<20} "
+              f"holds={len(hit['schedule'])} explored={hit['explored']} "
+              f"shrink_steps={hit['shrink_steps']} case={hit['case_digest']}")
+    print(f"search: {report.programs} program(s), {len(report.hits)} hit(s), "
+          f"{report.explored} candidate(s) explored")
+    print(f"corpus digest: {report.corpus_digest}")
+    if report.corpus_dir is not None:
+        print(f"corpus: {report.corpus_dir} ({len(report.case_paths)} case files)")
+    _print_manifest(args, "search")
+    print(
+        f"{report.wall_seconds:.2f}s wall, "
+        f"{report.candidates_per_second:.1f} candidates/s "
+        f"({report.runner_summary})",
+        file=sys.stderr,
+    )
+    return 0 if report.programs == args.programs else 1
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     status = 0
     for runner in (
@@ -711,6 +791,48 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fleet.set_defaults(func=_cmd_fleet)
+    search = sub.add_parser(
+        "search",
+        help=(
+            "adversarial schedule search: generate seeded TAP rule sets, "
+            "find minimal hold schedules that provably subvert them, or "
+            "rediscover the Table III cases differentially"
+        ),
+    )
+    search.add_argument(
+        "action", nargs="?", choices=["run", "table3", "spec"],
+        default="run",
+        help=(
+            "run: search --programs generated rule sets for verified "
+            "violations (default); table3: rediscover the 11 encoded "
+            "paper cases and check the classified effects; spec: print "
+            "generated program specs as JSONL without running them"
+        ),
+    )
+    search.add_argument(
+        "--programs", type=int, default=32, metavar="N",
+        help="generated programs for run/spec (default 32)",
+    )
+    search.add_argument(
+        "--start", type=int, default=0, metavar="I",
+        help="first program index for `spec` (default 0)",
+    )
+    search.add_argument(
+        "--batch-size", type=int, default=8, metavar="N",
+        help=(
+            "programs per shard (default 8; fixed per campaign so cache "
+            "keys never depend on --jobs)"
+        ),
+    )
+    search.add_argument(
+        "--budget", type=int, default=8, metavar="N",
+        help="candidate schedules explored per program (default 8)",
+    )
+    search.add_argument(
+        "--corpus", type=str, default=None, metavar="DIR",
+        help="write one JSONL case file per verified hit into DIR",
+    )
+    search.set_defaults(func=_cmd_search)
     return parser
 
 

@@ -183,6 +183,7 @@ class CampaignRunner:
         self.last_manifest_path: Path | None = None
         self._run_total = 0
         self._run_done = 0
+        self._booked: set[int] = set()
         self._events_seen = 0
         self._run_started = 0.0
         self._progress_last = 0.0
@@ -211,6 +212,9 @@ class CampaignRunner:
             "parallel", "cache_misses", campaign=campaign
         )
         self._cache_stale = self.registry.counter("parallel", "cache_stale", campaign=campaign)
+        self._cache_put_failures = self.registry.counter(
+            "parallel", "cache_put_failures", campaign=campaign
+        )
         self._in_flight = self.registry.gauge("parallel", "shards_in_flight", campaign=campaign)
         self._shard_seconds = self.registry.histogram(
             "parallel", "shard_seconds", campaign=campaign
@@ -241,6 +245,7 @@ class CampaignRunner:
         self._total.inc(len(shards))
         self._run_total = len(shards)
         self._run_done = 0
+        self._booked = set()
         self._events_seen = 0
         self._run_started = start = time.perf_counter()
         self._progress_last = 0.0
@@ -258,7 +263,8 @@ class CampaignRunner:
                 workers = min(self.jobs, len(pending))
                 if workers <= 1 or not fork_available():
                     outcomes = [
-                        (index, *self._run_serial(shards[index])) for index in pending
+                        (index, *self._run_serial(shards[index], index))
+                        for index in pending
                     ]
                 else:
                     outcomes = self._run_pool(shards, pending, workers)
@@ -289,14 +295,12 @@ class CampaignRunner:
             keys[index] = key
             lookup = self.cache.get(key)
             if lookup.hit:
-                self._cache_hits.inc()
-                self._completed.inc()
                 results[index] = lookup.result
                 if isinstance(lookup.telemetry, ShardTelemetry):
                     # The cached snapshot is the deterministic part only;
                     # ``cached`` is this run's annotation, never stored.
                     telemetry_rows[index] = replace(lookup.telemetry, cached=True)
-                self._book_progress(telemetry_rows[index])
+                self._book(index, self._cache_hits, telemetry_rows[index])
             else:
                 (self._cache_stale if lookup.stale else self._cache_misses).inc()
                 pending.append(index)
@@ -309,11 +313,19 @@ class CampaignRunner:
         kwargs = dict(shard.kwargs)
         if shard.pass_seed:
             kwargs["seed"] = key.seed
-        self.cache.put(
-            key, result, wall_seconds=elapsed, call=(shard.fn, kwargs),
-            telemetry=(shard_telemetry.deterministic()
-                       if shard_telemetry is not None else None),
-        )
+        try:
+            self.cache.put(
+                key, result, wall_seconds=elapsed, call=(shard.fn, kwargs),
+                telemetry=(shard_telemetry.deterministic()
+                           if shard_telemetry is not None else None),
+            )
+        except Exception:
+            # A result the cache cannot store (unpicklable, disk full)
+            # must not kill a run that already completed — especially a
+            # replayed shard that was healed in-process moments ago.  The
+            # run degrades to uncached; the failure is counted so it
+            # surfaces in the manifest rather than vanishing.
+            self._cache_put_failures.inc()
 
     def _book_usage(self, shard_telemetry: ShardTelemetry | None) -> None:
         """Record the worker's resource account into the parallel component."""
@@ -332,32 +344,53 @@ class CampaignRunner:
             self._events_processed.inc(events)
         self._progress_tick()
 
-    def _run_serial(self, shard: Shard) -> tuple[Any, float, ShardTelemetry]:
-        """The no-pool path: ``jobs=1``, a single pending shard, or no fork."""
-        result, elapsed, shard_telemetry = _run_shard(shard, self.base_seed)
-        self._inproc.inc()
+    def _book(
+        self,
+        index: int,
+        kind_counter: Any,
+        shard_telemetry: ShardTelemetry | None,
+        elapsed: float | None = None,
+    ) -> None:
+        """Book one shard's completion, structurally at most once per run.
+
+        Every completion path — cache hit, serial, pool success, replay —
+        funnels through here, and ``self._booked`` makes double-booking
+        impossible even if a shard reaches two paths in one run (e.g. a
+        replay of something already filled from cache), so
+        ``shards_completed`` can never exceed ``shards_total``.
+        """
+        if index in self._booked:
+            return
+        self._booked.add(index)
+        if kind_counter is not None:
+            kind_counter.inc()
         self._completed.inc()
-        self._shard_seconds.observe(elapsed)
+        if elapsed is not None:
+            self._shard_seconds.observe(elapsed)
         self._book_usage(shard_telemetry)
         self._book_progress(shard_telemetry)
+
+    def _run_serial(self, shard: Shard,
+                    index: int) -> tuple[Any, float, ShardTelemetry]:
+        """The no-pool path: ``jobs=1``, a single pending shard, or no fork."""
+        result, elapsed, shard_telemetry = _run_shard(shard, self.base_seed)
+        self._book(index, self._inproc, shard_telemetry, elapsed)
         return result, elapsed, shard_telemetry
 
-    def _replay(self, shard: Shard) -> tuple[Any, float, ShardTelemetry]:
+    def _replay(self, shard: Shard,
+                index: int) -> tuple[Any, float, ShardTelemetry]:
         """In-process replay of a shard whose pool future failed.
 
-        Books the shard exactly once: it counts as completed (it did
-        complete — here) and as replayed, but never as a pool completion
-        or an in-process run on top, so ``shards_completed`` can never
-        exceed ``shards_total``.  The telemetry carries ``replayed=True``
-        so the manifest row distinguishes a healed run from a clean one.
+        Books the shard exactly once via :meth:`_book`: it counts as
+        completed (it did complete — here) and as replayed, but never as
+        a pool completion or an in-process run on top, and never at all
+        if the same index was already booked (say, as a cache hit).  The
+        telemetry carries ``replayed=True`` so the manifest row
+        distinguishes a healed run from a clean one.
         """
         result, elapsed, shard_telemetry = _run_shard(shard, self.base_seed)
         shard_telemetry = replace(shard_telemetry, replayed=True)
-        self._replayed.inc()
-        self._completed.inc()
-        self._shard_seconds.observe(elapsed)
-        self._book_usage(shard_telemetry)
-        self._book_progress(shard_telemetry)
+        self._book(index, self._replayed, shard_telemetry, elapsed)
         return result, elapsed, shard_telemetry
 
     def _run_pool(
@@ -384,12 +417,11 @@ class CampaignRunner:
                     # re-raises the shard's genuine error with a usable
                     # traceback.
                     self._failed.inc()
-                    result, elapsed, shard_telemetry = self._replay(shards[index])
+                    result, elapsed, shard_telemetry = self._replay(
+                        shards[index], index
+                    )
                 else:
-                    self._completed.inc()
-                    self._shard_seconds.observe(elapsed)
-                    self._book_usage(shard_telemetry)
-                    self._book_progress(shard_telemetry)
+                    self._book(index, None, shard_telemetry, elapsed)
                 outcomes.append((index, result, elapsed, shard_telemetry))
         return outcomes
 

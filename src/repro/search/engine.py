@@ -1,0 +1,196 @@
+"""Paired program execution: one spec, with and without a hold schedule.
+
+:func:`run_program` reconstructs a generated program's smart home from
+its :class:`~repro.search.spec.ProgramSpec`, optionally deploys a
+phantom-delay attacker armed per a candidate :class:`Schedule`, and folds
+the run into a :class:`BehaviorTrace` — the compact, content-addressed
+account of everything the oracles compare: rule firings, device actions,
+notifications, final states, alarms, and invariant violations.
+
+The run structure mirrors :func:`repro.core.attacks.base.run_scenario`
+exactly (settle, then an observe window in *both* runs so baseline and
+attacked stay time-aligned, then the stimulus timeline), and the attacker
+arming mirrors the fleet engine: each hold is scheduled as a deferred
+``StateUpdateDelay.arm`` keyed on the target device's event-size
+fingerprint.  Invariant checking is always on — a hit only counts when
+the cross-layer :class:`~repro.faults.InvariantSuite` stayed silent,
+which is the paper's stealthiness claim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from ..automation.dsl import parse_rule
+from ..cache.keys import canonical
+from ..testbed import SmartHomeTestbed
+from .spec import ProgramSpec, Schedule
+
+#: Seconds every program gets to establish sessions before anything runs.
+SETTLE_SECONDS = 10.0
+
+#: Sniffing window between interposition and the timeline (both runs, so
+#: the comparison stays time-aligned) — same rationale as Scenario.observe.
+OBSERVE_SECONDS = 40.0
+
+
+@dataclass(frozen=True)
+class BehaviorTrace:
+    """The deterministic, comparable account of one program run."""
+
+    completed: bool
+    events: int
+    now: float
+    #: ``(ts, rule_id, trigger_event, condition_met, action_taken)`` rows.
+    firings: tuple[tuple[float, str, str, bool, bool], ...]
+    #: ``(ts, device_id, command)`` rows, sorted by time then device.
+    actions: tuple[tuple[float, str, str], ...]
+    #: ``(sent_at, channel, message, delivered_at)`` rows.
+    notifications: tuple[tuple[float, str, str, float | None], ...]
+    #: ``(device_id, attribute, value)`` final-state rows, sorted.
+    states: tuple[tuple[str, str, str], ...]
+    alarms: tuple[tuple[str, int], ...]
+    invariant_violations: tuple[str, ...]
+
+    def digest(self) -> str:
+        return hashlib.blake2b(canonical(self.to_dict()),
+                               digest_size=16).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "completed": self.completed,
+            "events": self.events,
+            "now": self.now,
+            "firings": [list(row) for row in self.firings],
+            "actions": [list(row) for row in self.actions],
+            "notifications": [list(row) for row in self.notifications],
+            "states": [list(row) for row in self.states],
+            "alarms": [list(row) for row in self.alarms],
+            "invariant_violations": list(self.invariant_violations),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "BehaviorTrace":
+        return cls(
+            completed=record["completed"],
+            events=record["events"],
+            now=record["now"],
+            firings=tuple(tuple(row) for row in record["firings"]),
+            actions=tuple(tuple(row) for row in record["actions"]),
+            notifications=tuple(tuple(row) for row in record["notifications"]),
+            states=tuple(tuple(row) for row in record["states"]),
+            alarms=tuple(tuple(row) for row in record["alarms"]),
+            invariant_violations=tuple(record["invariant_violations"]),
+        )
+
+
+def build_program(spec: ProgramSpec,
+                  check_invariants: bool = True) -> SmartHomeTestbed:
+    """Construct (without running) the testbed one program spec describes."""
+    tb = SmartHomeTestbed(
+        seed=spec.seed,
+        integration_staleness=spec.integration_staleness,
+        check_invariants=check_invariants,
+    )
+    for label in spec.devices:
+        tb.add_device(label)
+    for j, line in enumerate(spec.rules):
+        tb.install_rule(
+            parse_rule(line, rule_id=f"p{spec.program_index}-r{j}")
+        )
+    for device_id, value in spec.initial_states:
+        device = tb.device(device_id)
+        device.state[device.behavior.attribute] = value
+    return tb
+
+
+def run_program(
+    spec: ProgramSpec,
+    schedule: Schedule = (),
+    check_invariants: bool = True,
+    event_budget: int | None = None,
+) -> BehaviorTrace:
+    """Run one program through its timeline, attacked iff ``schedule``.
+
+    ``event_budget`` caps the scheduler's event count; a program that
+    trips it is reported ``completed=False`` deterministically rather
+    than raised, mirroring the fleet engine.
+    """
+    tb = build_program(spec, check_invariants=check_invariants)
+    if event_budget is not None:
+        tb.sim.max_events = event_budget
+    completed = True
+    try:
+        tb.settle(SETTLE_SECONDS)
+        if schedule:
+            from ..core.attacker import PhantomDelayAttacker
+            from ..core.attacks.state_update_delay import StateUpdateDelay
+
+            attacker = PhantomDelayAttacker.deploy(tb)
+            primitives: dict[str, StateUpdateDelay] = {}
+            for hold in schedule:
+                primitive = primitives.get(hold.device_id)
+                if primitive is None:
+                    primitive = StateUpdateDelay(attacker,
+                                                 tb.device(hold.device_id))
+                    primitives[hold.device_id] = primitive
+                tb.sim.schedule(
+                    max(0.0, OBSERVE_SECONDS + hold.at),
+                    lambda p=primitive, h=hold: p.arm(duration=h.duration),
+                    label="search:arm-hold",
+                )
+        tb.run(OBSERVE_SECONDS)
+        for stimulus in spec.stimuli:
+            tb.sim.schedule(
+                stimulus.at,
+                tb.device(stimulus.device_id).stimulate,
+                stimulus.value,
+                label="search:stimulus",
+            )
+        tb.run(spec.duration)
+    except RuntimeError as exc:
+        if "event budget" not in str(exc):
+            raise
+        completed = False
+    return _trace(tb, completed)
+
+
+def _trace(tb: SmartHomeTestbed, completed: bool) -> BehaviorTrace:
+    """Fold a finished program run into its comparable trace.
+
+    Timestamps are rounded to nanoseconds before storing so trace digests
+    stay stable under float formatting changes (the fleet digest recipe).
+    """
+    actions = sorted(
+        (round(ts, 9), device_id, command)
+        for device_id, device in sorted(tb.devices.items())
+        for ts, command, _data in device.actions_executed
+    )
+    states = tuple(
+        (device_id, attribute, str(value))
+        for device_id, device in sorted(tb.devices.items())
+        for attribute, value in sorted(device.state.items())
+    )
+    return BehaviorTrace(
+        completed=completed,
+        events=tb.sim.events_processed,
+        now=round(tb.now, 9),
+        firings=tuple(
+            (round(f.ts, 9), f.rule_id, f.trigger_event, f.condition_met,
+             f.action_taken)
+            for f in tb.integration.engine.firings
+        ),
+        actions=tuple(actions),
+        notifications=tuple(
+            (round(n.sent_at, 9), n.channel, n.message,
+             None if n.delivered_at is None else round(n.delivered_at, 9))
+            for n in tb.notifier.notifications
+        ),
+        states=states,
+        alarms=tuple(sorted(tb.alarms.summary().items())),
+        invariant_violations=tuple(
+            str(v) for v in (tb.invariants.violations if tb.invariants else ())
+        ),
+    )

@@ -1,0 +1,188 @@
+"""Seeded sampling of :class:`~repro.search.spec.ProgramSpec` rule sets.
+
+Following TAPInspector's observation that hand-written rule sets cannot
+cover the trigger-condition-action space, every program's device mix,
+rules, and stimulus timeline are drawn from seeded distributions through
+the existing :mod:`repro.automation.dsl` layer.  The draw is a pure
+function of ``(base_seed, program_index)`` through the campaign seed
+derivation (:func:`~repro.parallel.seeds.derive_seed` over the
+``search/<program-index>`` namespace), so program *i* of a search is the
+same program no matter which batch, worker, or process samples it.
+
+Unlike the fleet sampler, the generator builds a *bait story* into each
+rule's timeline: for a conditioned rule it first puts the condition into
+one state, then flips it, then fires the trigger — the exact event
+ordering a hold/release schedule can subvert into spurious or disabled
+execution (paper Section V-C).  Condition devices are always drawn from a
+different uplink session than the trigger device, because holding a
+condition event on a shared hub session would hold the trigger too
+(order is preserved on a flow — see Case 6's build note).
+
+Determinism rules for the generator body: one private ``random.Random``
+per program, consumed in a fixed documented order; never iterate an
+unordered container; never consult the wall clock.  Changing the draw
+order is a breaking change (every generated corpus silently re-rolls)
+and must bump :data:`~repro.search.spec.SEARCH_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..devices.behaviors import behavior_for
+from ..devices.profiles import CATALOGUE
+from ..fleet.sampler import ACTUATOR_POOL, SENSOR_POOL
+from ..fleet.spec import Stimulus
+from ..parallel.seeds import derive_seed
+from .spec import ProgramSpec, SearchConfig
+
+#: Seed namespace shared with the runner: program *i*'s seed is
+#: ``derive_seed(base_seed, SEED_NAMESPACE.format(i))``.
+SEED_NAMESPACE = "search/{}"
+
+
+def program_seed(base_seed: int, program_index: int) -> int:
+    """The derived simulation seed of one generated program."""
+    return derive_seed(base_seed, SEED_NAMESPACE.format(program_index))
+
+
+def session_of(label: str) -> str:
+    """The uplink session group of one catalogue device.
+
+    Hub children share their hub's TCP session; standalone WiFi devices
+    own theirs.  Two devices in the same group cannot be delayed
+    independently of each other.
+    """
+    profile = CATALOGUE.get(label)
+    return profile.hub_label or profile.label
+
+
+class RuleSetGenerator:
+    """Draws the ``program_index``-th :class:`ProgramSpec` of one search."""
+
+    def __init__(self, base_seed: int, config: SearchConfig | None = None) -> None:
+        self.base_seed = base_seed
+        self.config = config or SearchConfig()
+
+    def sample(self, program_index: int) -> ProgramSpec:
+        cfg = self.config
+        seed = program_seed(self.base_seed, program_index)
+        rng = random.Random(seed)
+
+        # Draw order is part of the reproducibility contract — see module
+        # docstring.  1) device mix, 2) per-rule structure + bait story
+        # (trigger, condition, action, story shape, story gaps), 3) tail.
+        n_sensors = rng.randint(cfg.min_sensors, cfg.max_sensors)
+        sensors = rng.sample(SENSOR_POOL, n_sensors)
+        n_actuators = rng.randint(0, cfg.max_actuators)
+        actuators = rng.sample(ACTUATOR_POOL, n_actuators)
+        devices = tuple(sensors + actuators)
+
+        rules: list[str] = []
+        stimuli: list[Stimulus] = []
+        clock = 1.0
+        for j in range(rng.randint(cfg.min_rules, cfg.max_rules)):
+            rule, clock = self._sample_rule(
+                rng, program_index, j, sensors, actuators, stimuli, clock
+            )
+            rules.append(rule)
+
+        duration = round(clock + rng.uniform(*cfg.tail_range), 3)
+
+        return ProgramSpec(
+            program_index=program_index,
+            seed=seed,
+            devices=devices,
+            rules=tuple(rules),
+            duration=max(60.0, duration),
+            stimuli=tuple(stimuli),
+        )
+
+    def sample_many(self, count: int, start: int = 0) -> list[ProgramSpec]:
+        return [self.sample(start + i) for i in range(count)]
+
+    # ------------------------------------------------------------- internals
+
+    def _sample_rule(
+        self,
+        rng: random.Random,
+        program_index: int,
+        rule_index: int,
+        sensors: list[str],
+        actuators: list[str],
+        stimuli: list[Stimulus],
+        clock: float,
+    ) -> tuple[str, float]:
+        """Draw one rule and append its bait story to the timeline.
+
+        Returns the DSL line and the advanced story clock.  Story shapes:
+
+        * conditioned, spurious bait: condition matches at t0, flips away
+          at t1, trigger fires at t2 — holding the t1 event makes the
+          stale condition fire the action (spurious execution);
+        * conditioned, disabled bait: condition mismatches at t0, turns
+          true at t1, trigger fires at t2 — holding the t1 event leaves
+          the condition stale-false (disabled execution);
+        * unconditioned: a single trigger event (state-update/action
+          delay bait).
+        """
+        cfg = self.config
+        trigger_label = rng.choice(sensors)
+        trigger_behavior = behavior_for(CATALOGUE.get(trigger_label).kind)
+        trigger_value = rng.choice(trigger_behavior.sensor_values)
+        trigger_event = trigger_behavior.event_name(trigger_value)
+
+        condition = ""
+        cond_story: tuple[tuple[str, str], tuple[str, str]] | None = None
+        peers = [
+            s for s in sensors
+            if session_of(s) != session_of(trigger_label)
+        ]
+        if peers and rng.random() < cfg.condition_probability:
+            cond_label = rng.choice(peers)
+            cond_behavior = behavior_for(CATALOGUE.get(cond_label).kind)
+            cond_value = rng.choice(cond_behavior.sensor_values)
+            cond_other = next(
+                v for v in cond_behavior.sensor_values if v != cond_value
+            )
+            condition = (
+                f" IF {cond_label.lower()}.{cond_behavior.attribute}"
+                f" == {cond_value}"
+            )
+            if rng.random() < cfg.spurious_bait_probability:
+                # Condition true first, falsified second: spurious bait.
+                cond_story = ((cond_label.lower(), cond_value),
+                              (cond_label.lower(), cond_other))
+            else:
+                # Condition false first, enabled second: disabled bait.
+                cond_story = ((cond_label.lower(), cond_other),
+                              (cond_label.lower(), cond_value))
+
+        if actuators and rng.random() < cfg.command_probability:
+            target = rng.choice(actuators)
+            command = rng.choice(sorted(
+                behavior_for(CATALOGUE.get(target).kind).commands
+            ))
+            action = f"COMMAND {target.lower()} {command}"
+        else:
+            action = (
+                f'NOTIFY push "program-{program_index} rule-{rule_index}: '
+                f'{trigger_event}"'
+            )
+
+        t = clock
+        if cond_story is not None:
+            for device_id, value in cond_story:
+                stimuli.append(Stimulus(at=round(t, 3), device_id=device_id,
+                                        value=value))
+                t += rng.uniform(*cfg.gap_range)
+        stimuli.append(Stimulus(at=round(t, 3),
+                                device_id=trigger_label.lower(),
+                                value=trigger_value))
+        t += rng.uniform(*cfg.story_spacing)
+
+        rule = (
+            f"WHEN {trigger_label.lower()} {trigger_event}{condition} "
+            f"THEN {action}"
+        )
+        return rule, t

@@ -1,0 +1,388 @@
+"""Schedule planning and witness shrinking over generated programs.
+
+For each generated program the planner runs one baseline trace, then
+explores candidate hold/release schedules **in a fixed documented order**
+until one induces a verified violation (or the candidate budget runs
+out).  Candidate order:
+
+1. the *saturation* schedule — one maximum-safe hold per condition
+   device, each armed between that device's last two stimuli (the window
+   the bait stories leave open); then
+2. single-hold candidates, one per ``(device, stimulus index)`` pair in
+   spec device order then stimulus order, armed at the midpoint of the
+   previous same-device stimulus (so an earlier event of the same size
+   cannot trip the hold early — Case 5's arming note) or ``lead``
+   seconds before a first stimulus.
+
+A hit is then handed to the deterministic shrinker: greedy hold removal
+in fixed index order (repeated until a fixed point), then a per-hold
+duration descent over the config ladder — each step re-verified against
+the baseline, the primary violation class required to survive, and the
+schedule never allowed to grow.  The minimal witness is re-verified one
+final time before it becomes a corpus case.
+
+Work is sharded as fixed-size program batches over
+:class:`~repro.parallel.runner.CampaignRunner` (key
+``search/batch/<start>+<count>``, ``pass_seed=False``), so the batch
+partition — and with it every cache address — is a pure function of the
+program range, never of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..automation.dsl import parse_rule
+from ..cache.keys import canonical
+from ..obs.metrics import MetricsRegistry
+from ..parallel import CampaignRunner, Shard
+from .engine import BehaviorTrace, run_program
+from .generator import RuleSetGenerator
+from .oracles import classify, primary_class
+from .spec import Hold, ProgramSpec, Schedule, SearchConfig, schedule_to_lists
+
+#: Programs per shard.  Fixed (never derived from ``jobs``) so the batch
+#: partition — and every shard key and cache address — is a pure function
+#: of the search size.
+DEFAULT_BATCH_SIZE = 8
+
+
+# ------------------------------------------------------------- candidates
+
+
+def _stimuli_of(spec: ProgramSpec, device_id: str):
+    return [s for s in spec.stimuli if s.device_id == device_id]
+
+
+def _hold_for(spec: ProgramSpec, device_id: str, index: int,
+              config: SearchConfig) -> Hold:
+    """A maximum-safe hold armed just before the device's ``index``-th
+    stimulus — after the previous same-device stimulus, whose event size
+    would otherwise trip the hold early."""
+    stimuli = _stimuli_of(spec, device_id)
+    stimulus = stimuli[index]
+    if index == 0:
+        at = stimulus.at - config.lead
+    else:
+        at = (stimuli[index - 1].at + stimulus.at) / 2.0
+    return Hold(device_id=device_id, at=round(at, 3), duration=None)
+
+
+def condition_devices(spec: ProgramSpec) -> list[str]:
+    """Condition device ids in first-appearance order across the rules."""
+    seen: list[str] = []
+    for line in spec.rules:
+        rule = parse_rule(line, rule_id="probe")
+        if rule.condition is not None and rule.condition.device_id not in seen:
+            seen.append(rule.condition.device_id)
+    return seen
+
+
+def candidate_schedules(spec: ProgramSpec,
+                        config: SearchConfig) -> list[Schedule]:
+    """Candidate hold schedules in the fixed exploration order."""
+    candidates: list[Schedule] = []
+    saturation = tuple(
+        _hold_for(spec, device_id, len(_stimuli_of(spec, device_id)) - 1,
+                  config)
+        for device_id in condition_devices(spec)
+        if _stimuli_of(spec, device_id)
+    )
+    if saturation:
+        candidates.append(saturation)
+    for label in spec.devices:
+        device_id = label.lower()
+        for index in range(len(_stimuli_of(spec, device_id))):
+            single = (_hold_for(spec, device_id, index, config),)
+            if single not in candidates:
+                candidates.append(single)
+    return candidates[:config.max_candidates]
+
+
+# --------------------------------------------------------------- shrinking
+
+
+def shrink(
+    spec: ProgramSpec,
+    schedule: Schedule,
+    violation: str,
+    baseline: BehaviorTrace,
+    config: SearchConfig,
+) -> tuple[Schedule, int]:
+    """Minimise a violating schedule; returns ``(witness, steps)``.
+
+    Every step re-runs the program and keeps the change only if the
+    primary violation class survives with the invariants silent; the
+    schedule only ever loses holds or swaps a maximum-safe hold for a
+    finite duration, never grows.
+    """
+    steps = 0
+
+    def still_violates(candidate: Schedule) -> bool:
+        nonlocal steps
+        steps += 1
+        trace = run_program(spec, candidate)
+        found = classify(baseline, trace, config.delay_threshold)
+        return (primary_class(found) == violation
+                and not trace.invariant_violations)
+
+    current = tuple(schedule)
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for index in range(len(current)):
+            candidate = current[:index] + current[index + 1:]
+            if still_violates(candidate):
+                current = candidate
+                changed = True
+                break
+    minimized: list[Hold] = []
+    for index, hold in enumerate(current):
+        if hold.duration is None:
+            for duration in sorted(config.duration_ladder):
+                candidate = (tuple(minimized)
+                             + (replace(hold, duration=duration),)
+                             + current[index + 1:])
+                if still_violates(candidate):
+                    hold = replace(hold, duration=duration)
+                    break
+        minimized.append(hold)
+    return tuple(minimized), steps
+
+
+# ------------------------------------------------------------- one program
+
+
+def case_digest(spec_digest: str, schedule: Schedule, violation: str) -> str:
+    """Content address of one violation case (spec x witness x class)."""
+    payload = {
+        "spec": spec_digest,
+        "schedule": schedule_to_lists(schedule),
+        "violation": violation,
+    }
+    return hashlib.blake2b(canonical(payload), digest_size=16).hexdigest()
+
+
+def plan_program(spec: ProgramSpec, config: SearchConfig) -> dict[str, Any]:
+    """Search one program for a minimal verified violation witness.
+
+    Returns ``{"program_index", "explored", "hit"}`` where ``hit`` is the
+    JSON-able corpus case record, or None when no candidate within the
+    budget induced a verified violation.
+    """
+    baseline = run_program(spec)
+    explored = 0
+    for schedule in candidate_schedules(spec, config):
+        attacked = run_program(spec, schedule)
+        explored += 1
+        violations = classify(baseline, attacked, config.delay_threshold)
+        if (not violations or attacked.invariant_violations
+                or baseline.invariant_violations):
+            continue
+        violation = primary_class(violations)
+        witness, shrink_steps = shrink(spec, schedule, violation, baseline,
+                                       config)
+        final = run_program(spec, witness)
+        final_violations = classify(baseline, final, config.delay_threshold)
+        verified = (primary_class(final_violations) == violation
+                    and not final.invariant_violations)
+        if not verified:
+            # The shrinker's acceptance runs make this unreachable in
+            # practice; a hit that fails its final re-verification is
+            # dropped rather than emitted unverified.
+            continue
+        spec_digest = spec.digest()
+        hit = {
+            "schema": spec.schema,
+            "program_index": spec.program_index,
+            "seed": spec.seed,
+            "spec": spec.to_dict(),
+            "spec_digest": spec_digest,
+            "schedule": schedule_to_lists(witness),
+            "violation": violation,
+            "violations": [dict(v) for v in final_violations],
+            "baseline_digest": baseline.digest(),
+            "attacked_digest": final.digest(),
+            "explored": explored,
+            "shrink_steps": shrink_steps,
+            "verified": True,
+            "case_digest": case_digest(spec_digest, witness, violation),
+        }
+        return {"program_index": spec.program_index, "explored": explored,
+                "hit": hit}
+    return {"program_index": spec.program_index, "explored": explored,
+            "hit": None}
+
+
+# --------------------------------------------------------------- one batch
+
+
+def search_batch(
+    start: int,
+    count: int,
+    base_seed: int,
+    config: dict[str, Any] | None = None,
+) -> list[dict[str, Any]]:
+    """Shard function: generate and search programs ``start .. start+count-1``.
+
+    Module-level and pure — workers import it by qualified name and the
+    cache addresses it by ``(start, count, base_seed, config)``.  Search
+    telemetry (candidates explored, hits, shrink steps) is recorded into
+    a registry that auto-registers with the active telemetry capture, so
+    it merges into the campaign snapshot and manifest.
+    """
+    cfg = SearchConfig.from_dict(config)
+    generator = RuleSetGenerator(base_seed, cfg)
+    registry = MetricsRegistry()
+    programs = registry.counter("search", "programs")
+    candidates = registry.counter("search", "candidates_explored")
+    hits = registry.counter("search", "hits")
+    shrink_steps = registry.counter("search", "shrink_steps")
+    rows: list[dict[str, Any]] = []
+    for index in range(start, start + count):
+        outcome = plan_program(generator.sample(index), cfg)
+        programs.inc()
+        candidates.inc(outcome["explored"])
+        hit = outcome["hit"]
+        if hit is not None:
+            hits.inc()
+            shrink_steps.inc(hit["shrink_steps"])
+            registry.counter("search", "violations",
+                             kind=hit["violation"]).inc()
+        rows.append(outcome)
+    return rows
+
+
+# -------------------------------------------------------------- the search
+
+
+@dataclass
+class SearchReport:
+    """Aggregate account of one adversarial search campaign."""
+
+    programs: int
+    explored: int
+    hits: tuple[dict[str, Any], ...]
+    corpus_digest: str
+    wall_seconds: float
+    case_paths: tuple[Path, ...] = ()
+    corpus_dir: Path | None = None
+    manifest_path: Path | None = None
+    runner_summary: str = ""
+
+    @property
+    def hit_rate(self) -> float:
+        return len(self.hits) / self.programs if self.programs else 0.0
+
+    @property
+    def candidates_per_second(self) -> float:
+        return self.explored / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class SearchRunner:
+    """Steps an adversarial search in batches across the campaign pool."""
+
+    def __init__(
+        self,
+        programs: int,
+        base_seed: int = 0,
+        jobs: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        config: SearchConfig | None = None,
+        cache: Any = None,
+        manifest: Any = True,
+        campaign: str = "search",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if programs < 0:
+            raise ValueError(f"program count must be >= 0: {programs}")
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1: {batch_size}")
+        self.programs = programs
+        self.base_seed = base_seed
+        self.batch_size = batch_size
+        self.config = config or SearchConfig()
+        self.campaign = campaign
+        self.runner = CampaignRunner(
+            jobs=jobs, base_seed=base_seed, campaign=campaign, cache=cache,
+            manifest=manifest, registry=registry,
+        )
+
+    def shards(self) -> list[Shard]:
+        """The search's batch partition — jobs- and cache-independent."""
+        config = (
+            None if self.config == SearchConfig() else self.config.to_dict()
+        )
+        out = []
+        for start in range(0, self.programs, self.batch_size):
+            count = min(self.batch_size, self.programs - start)
+            out.append(Shard(
+                key=f"search/batch/{start}+{count}",
+                fn=search_batch,
+                kwargs={
+                    "start": start,
+                    "count": count,
+                    "base_seed": self.base_seed,
+                    "config": config,
+                },
+                # Per-program seeds derive from (base_seed, program index)
+                # inside the batch; a shard-level seed would vary with
+                # batching.
+                pass_seed=False,
+            ))
+        return out
+
+    def run(self, corpus_dir: "str | Path | None" = None) -> SearchReport:
+        from .corpus import corpus_digest, write_corpus
+
+        start = time.perf_counter()
+        batches = self.runner.run(self.shards())
+        wall = time.perf_counter() - start
+        rows = [row for batch in batches if batch is not None for row in batch]
+        hits = tuple(row["hit"] for row in rows if row["hit"] is not None)
+        case_paths: tuple[Path, ...] = ()
+        out_dir: Path | None = None
+        if corpus_dir is not None:
+            out_dir = Path(corpus_dir)
+            case_paths = tuple(write_corpus(hits, out_dir))
+        return SearchReport(
+            programs=len(rows),
+            explored=sum(row["explored"] for row in rows),
+            hits=hits,
+            corpus_digest=corpus_digest(hits),
+            wall_seconds=wall,
+            case_paths=case_paths,
+            corpus_dir=out_dir,
+            manifest_path=self.runner.last_manifest_path,
+            runner_summary=self.runner.summary(),
+        )
+
+
+def run_search(
+    programs: int,
+    seed: int = 0,
+    jobs: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    config: SearchConfig | None = None,
+    cache: Any = None,
+    manifest: Any = True,
+    campaign: str = "search",
+    corpus_dir: "str | Path | None" = None,
+) -> SearchReport:
+    """One-call adversarial search (the CLI and bench entry point)."""
+    runner = SearchRunner(
+        programs=programs, base_seed=seed, jobs=jobs, batch_size=batch_size,
+        config=config, cache=cache, manifest=manifest, campaign=campaign,
+    )
+    return runner.run(corpus_dir=corpus_dir)
+
+
+def plan_specs(specs: Sequence[ProgramSpec],
+               config: SearchConfig | None = None) -> list[dict[str, Any]]:
+    """Plan a fixed spec list serially (the Table III differential path)."""
+    cfg = config or SearchConfig()
+    return [plan_program(spec, cfg) for spec in specs]

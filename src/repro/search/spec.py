@@ -1,0 +1,197 @@
+"""Search-space specifications: one generated TAP program, as data.
+
+A :class:`ProgramSpec` is everything needed to reconstruct one generated
+trigger-condition-action program byte-identically anywhere: the derived
+seed, the device mix, the rule set (as DSL text), the pre-seeded device
+states, the stimulus timeline, and the integration policy.  A
+:class:`Hold` is one attacker hold in a candidate schedule; a schedule is
+a tuple of holds.  Specs are frozen, picklable, JSON-round-trippable, and
+schema-versioned exactly like :mod:`repro.fleet.spec`: a loader refuses
+specs written by a *newer* schema rather than silently misreading them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..cache.keys import canonical
+from ..fleet.spec import Stimulus
+
+#: Bump when the spec layout, the generator draw order, or the planner
+#: candidate order changes incompatibly; loaders reject newer specs.
+SEARCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Hold:
+    """One attacker hold: arm an e-Delay on ``device_id`` at ``at``.
+
+    ``at`` is seconds after the timeline start (the same frame as
+    :class:`~repro.fleet.spec.Stimulus.at`); ``duration=None`` holds for
+    the maximum safe window the device's timeout behaviour allows.
+    """
+
+    device_id: str
+    at: float
+    duration: float | None = None
+
+    def to_list(self) -> list[Any]:
+        return [self.device_id, self.at, self.duration]
+
+    @classmethod
+    def from_list(cls, record: list[Any]) -> "Hold":
+        return cls(device_id=record[0], at=record[1], duration=record[2])
+
+
+Schedule = tuple[Hold, ...]
+
+
+def schedule_to_lists(schedule: Schedule) -> list[list[Any]]:
+    return [hold.to_list() for hold in schedule]
+
+
+def schedule_from_lists(records: list[list[Any]]) -> Schedule:
+    return tuple(Hold.from_list(record) for record in records)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A complete, reconstructible description of one generated program."""
+
+    program_index: int
+    seed: int
+    #: Catalogue labels (cloud table); hub children pull their hubs in.
+    devices: tuple[str, ...]
+    #: Automation rules as DSL lines (``WHEN ... THEN ...``).
+    rules: tuple[str, ...]
+    #: Device states seeded before settle: ``(device_id, value)`` pairs.
+    initial_states: tuple[tuple[str, str], ...] = ()
+    #: Integration event-discard window (Case 4's 30 s), or None.
+    integration_staleness: float | None = None
+    #: Simulated seconds the timeline runs after the observe window.
+    duration: float = 120.0
+    stimuli: tuple[Stimulus, ...] = ()
+    schema: int = SEARCH_SCHEMA
+    #: Free-form provenance (generator config digest etc.), not identity.
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------- identity
+
+    def digest(self) -> str:
+        """Content address of this spec (identity excludes ``meta``)."""
+        payload = self.to_dict()
+        payload.pop("meta", None)
+        return hashlib.blake2b(canonical(payload), digest_size=16).hexdigest()
+
+    # ---------------------------------------------------------- (de)serialise
+
+    def to_dict(self) -> dict[str, Any]:
+        record = asdict(self)
+        record["devices"] = list(self.devices)
+        record["rules"] = list(self.rules)
+        record["initial_states"] = [list(pair) for pair in self.initial_states]
+        record["stimuli"] = [list(s.to_tuple()) for s in self.stimuli]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "ProgramSpec":
+        schema = record.get("schema", 0)
+        if schema > SEARCH_SCHEMA:
+            raise ValueError(
+                f"program spec schema {schema} is newer than supported "
+                f"({SEARCH_SCHEMA}); upgrade the tooling"
+            )
+        return cls(
+            program_index=record["program_index"],
+            seed=record["seed"],
+            devices=tuple(record["devices"]),
+            rules=tuple(record["rules"]),
+            initial_states=tuple(
+                (pair[0], pair[1]) for pair in record.get("initial_states", ())
+            ),
+            integration_staleness=record.get("integration_staleness"),
+            duration=record.get("duration", 120.0),
+            stimuli=tuple(
+                Stimulus(at=s[0], device_id=s[1], value=s[2])
+                for s in record.get("stimuli", ())
+            ),
+            schema=schema,
+            meta=dict(record.get("meta", {})),
+        )
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Generator and planner knobs for one adversarial search campaign.
+
+    The generator defaults bias toward *attackable* structure: most rules
+    carry an IF condition on a second device (conditions are what the
+    erroneous-execution attacks subvert) and every rule gets a bait story
+    in the stimulus timeline.  The config rides inside shard kwargs, so
+    it must stay a plain frozen dataclass of JSON-able values.
+    """
+
+    # -- generator ---------------------------------------------------------
+    min_sensors: int = 2
+    max_sensors: int = 4
+    max_actuators: int = 2
+    min_rules: int = 1
+    max_rules: int = 3
+    #: Probability a rule carries an IF condition on a second device
+    #: (high: conditioned rules are the interesting part of the space).
+    condition_probability: float = 0.7
+    #: Probability a rule commands an actuator (vs notifying the user).
+    command_probability: float = 0.6
+    #: Probability a conditioned rule's bait story seeds the condition
+    #: *true first* (spurious bait) vs *false first* (disabled bait).
+    spurious_bait_probability: float = 0.5
+    #: Seconds between the two bait events, and between bait and trigger.
+    gap_range: tuple[float, float] = (4.0, 8.0)
+    #: Idle seconds between consecutive rule stories.
+    story_spacing: tuple[float, float] = (6.0, 10.0)
+    #: Idle tail after the last stimulus (late holds must still release).
+    tail_range: tuple[float, float] = (20.0, 40.0)
+
+    # -- planner -----------------------------------------------------------
+    #: Candidate schedules explored per program before giving up.
+    max_candidates: int = 8
+    #: Seconds before a device's first stimulus at which a hold arms.
+    lead: float = 2.0
+    #: Minimum attacked-vs-baseline latency shift that counts as a
+    #: delay-class violation.
+    delay_threshold: float = 5.0
+    #: Finite durations the shrinker tries (ascending) in place of a
+    #: maximum-safe hold.
+    duration_ladder: tuple[float, ...] = (5.0, 10.0, 20.0)
+    schema: int = SEARCH_SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        record = asdict(self)
+        record["gap_range"] = list(self.gap_range)
+        record["story_spacing"] = list(self.story_spacing)
+        record["tail_range"] = list(self.tail_range)
+        record["duration_ladder"] = list(self.duration_ladder)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any] | None) -> "SearchConfig":
+        if record is None:
+            return cls()
+        schema = record.get("schema", 0)
+        if schema > SEARCH_SCHEMA:
+            raise ValueError(
+                f"search config schema {schema} is newer than supported "
+                f"({SEARCH_SCHEMA}); upgrade the tooling"
+            )
+        kwargs = dict(record)
+        kwargs["gap_range"] = tuple(record.get("gap_range", cls.gap_range))
+        kwargs["story_spacing"] = tuple(
+            record.get("story_spacing", cls.story_spacing)
+        )
+        kwargs["tail_range"] = tuple(record.get("tail_range", cls.tail_range))
+        kwargs["duration_ladder"] = tuple(
+            record.get("duration_ladder", cls.duration_ladder)
+        )
+        return cls(**kwargs)

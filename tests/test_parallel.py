@@ -229,6 +229,80 @@ class TestCampaignRunner:
         assert value("shards_in_flight") == 0
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_replay_of_unpicklable_result_survives_cache_store(self, tmp_path):
+        # Regression: with a cache attached, a pool failure healed by the
+        # in-process replay used to die *after* completing — the outcomes
+        # loop handed the healed (unpicklable) result to cache.put, and
+        # pickle's error killed the run.  The store must degrade to a
+        # counted put-failure instead, and the shard must still book once.
+        from repro.cache import CampaignCache
+
+        registry = MetricsRegistry()
+        runner = CampaignRunner(jobs=2, registry=registry, campaign="putfail",
+                                cache=CampaignCache(root=tmp_path),
+                                manifest=False)
+        shards = [
+            Shard(key="ok", fn=_echo_shard, kwargs={"name": "fine"}),
+            Shard(key="bad", fn=_unpicklable_result),
+        ]
+        results = runner.run(shards)
+        assert results[0] == ("fine", derive_seed(0, "ok"))
+        assert callable(results[1])  # healed in-process, result intact
+
+        def value(name: str) -> float:
+            return registry.value("parallel", name, campaign="putfail")
+
+        assert value("shards_total") == 2
+        assert value("shards_completed") == 2
+        assert value("shards_replayed") == 1
+        assert value("shard_failures") == 1
+        assert value("cache_put_failures") == 1
+
+        # The unstorable shard must not have poisoned the cache: a warm
+        # runner hits the good shard and quietly re-runs the bad one.
+        registry2 = MetricsRegistry()
+        runner2 = CampaignRunner(jobs=2, registry=registry2,
+                                 campaign="putfail",
+                                 cache=CampaignCache(root=tmp_path),
+                                 manifest=False)
+        results2 = runner2.run(shards)
+        assert results2[0] == results[0]
+        assert callable(results2[1])
+
+        def value2(name: str) -> float:
+            return registry2.value("parallel", name, campaign="putfail")
+
+        assert value2("cache_hits") == 1
+        assert value2("cache_misses") == 1
+        assert value2("shards_completed") == 2
+        assert value2("cache_put_failures") == 1
+
+    def test_cache_hit_then_replay_books_once(self, tmp_path):
+        # Structural guard: even if one shard index somehow reaches two
+        # booking paths in a single run (here: filled from cache, then a
+        # stray replay of the same index), completed must not double-count.
+        from repro.cache import CampaignCache
+
+        registry = MetricsRegistry()
+        shards = [Shard(key="k", fn=_echo_shard, kwargs={"name": "n"})]
+        CampaignRunner(jobs=1, campaign="guard",
+                       cache=CampaignCache(root=tmp_path),
+                       manifest=False).run(shards)
+        runner = CampaignRunner(jobs=1, registry=registry, campaign="guard",
+                                cache=CampaignCache(root=tmp_path),
+                                manifest=False)
+        runner.run(shards)
+
+        def value(name: str) -> float:
+            return registry.value("parallel", name, campaign="guard")
+
+        assert value("cache_hits") == 1
+        assert value("shards_completed") == 1
+        runner._replay(shards[0], 0)  # the hypothetical second path
+        assert value("shards_completed") == 1
+        assert value("shards_replayed") == 0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
     def test_failing_shard_reraises_with_original_error(self):
         runner = CampaignRunner(jobs=2, campaign="failure-test")
         shards = [

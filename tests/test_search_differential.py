@@ -1,0 +1,114 @@
+"""Differential regression: the planner rediscovers the paper's attacks.
+
+Table III is the ground truth the search is calibrated against: for every
+one of the 11 PoC cases — re-encoded declaratively in
+:mod:`repro.search.table3`, with no hand-written attack — the planner
+must find a violating hold schedule within a small seeded budget, and
+the differential oracles must classify the violation as the effect the
+paper's table reports.  The corpus digest of the rediscoveries is pinned
+as a golden; drift means the planner, the oracles, or the simulation
+changed behaviour.
+
+The acceptance half then turns the search loose on *generated* programs
+and requires verified violations that are genuinely novel (not
+digest-equal to any Table III rediscovery).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search import (
+    TABLE3_EXPECTED,
+    SearchConfig,
+    plan_specs,
+    run_search,
+    schedule_from_lists,
+    table3_spec,
+    table3_specs,
+)
+from repro.search.corpus import corpus_digest
+from repro.search.engine import run_program
+from repro.search.oracles import classify, primary_class
+from repro.search.spec import ProgramSpec
+
+
+@pytest.fixture(scope="module")
+def rediscoveries():
+    """Planner outcomes over the 11 encoded cases (seed 0, small budget)."""
+    return plan_specs(table3_specs(0), SearchConfig())
+
+
+class TestTable3Rediscovery:
+    @pytest.mark.parametrize("case", sorted(TABLE3_EXPECTED))
+    def test_case_rediscovered_with_expected_class(self, rediscoveries, case):
+        outcome = rediscoveries[case - 1]
+        hit = outcome["hit"]
+        assert hit is not None, f"case {case}: no violating schedule found"
+        assert hit["violation"] == TABLE3_EXPECTED[case]
+        assert hit["verified"] is True
+        assert hit["schedule"], "a witness has at least one hold"
+
+    def test_golden_corpus_digest(self, rediscoveries):
+        # The pinned content address of the 11 rediscovered witnesses.
+        # Do not update to make the test pass: drift means the planner,
+        # shrinker, oracles, or simulation changed observable behaviour
+        # — bump SEARCH_SCHEMA alongside any intentional change.
+        hits = [o["hit"] for o in rediscoveries if o["hit"]]
+        assert len(hits) == 11
+        assert corpus_digest(hits) == "98739d7d2200d73e57463834d58d7cc7"
+
+    def test_witnesses_replay_from_their_case_records(self, rediscoveries):
+        # A corpus case is self-contained: rebuilding the program from
+        # the embedded spec and re-running the embedded schedule must
+        # reproduce the classified violation and the trace digests.
+        for outcome in rediscoveries[:3]:
+            hit = outcome["hit"]
+            spec = ProgramSpec.from_dict(hit["spec"])
+            baseline = run_program(spec)
+            attacked = run_program(spec,
+                                   schedule_from_lists(hit["schedule"]))
+            assert baseline.digest() == hit["baseline_digest"]
+            assert attacked.digest() == hit["attacked_digest"]
+            assert primary_class(classify(baseline, attacked)) == \
+                hit["violation"]
+            assert not attacked.invariant_violations
+
+    def test_case4_needs_the_staleness_policy(self):
+        # Case 4's disabled execution exists only because the platform
+        # discards events older than its staleness window; without the
+        # policy the held event still fires late (a delay, not a kill).
+        spec = table3_spec(4)
+        assert spec.integration_staleness == 30.0
+        relaxed = ProgramSpec.from_dict(
+            {**spec.to_dict(), "integration_staleness": None}
+        )
+        [outcome] = plan_specs([relaxed], SearchConfig())
+        hit = outcome["hit"]
+        assert hit is not None and hit["violation"] == "delay"
+
+
+class TestGeneratedSearchAcceptance:
+    def test_novel_verified_violations_beyond_table3(self, rediscoveries,
+                                                     tmp_path):
+        # The acceptance bar: a seeded search over generated rule sets
+        # must produce verified violation cases that are *novel* — not
+        # digest-equal to any Table III rediscovery.  (The full-scale
+        # 200-program sweep runs in the CI smoke; this is the
+        # tier-1-sized version of the same claim.)
+        table3_digests = {
+            o["hit"]["case_digest"] for o in rediscoveries if o["hit"]
+        }
+        report = run_search(16, seed=0, jobs=1, cache=False, manifest=False,
+                            corpus_dir=tmp_path)
+        assert report.programs == 16
+        novel = [h for h in report.hits
+                 if h["case_digest"] not in table3_digests]
+        assert len(novel) >= 5
+        classes = {h["violation"] for h in novel}
+        assert len(classes) >= 2, "novel hits span multiple violation classes"
+        for hit in report.hits:
+            assert hit["verified"] is True
+            spec = ProgramSpec.from_dict(hit["spec"])
+            assert spec.program_index >= 0  # generated, not an encoding
+        assert len(report.case_paths) == len(report.hits)
