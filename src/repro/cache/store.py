@@ -282,21 +282,35 @@ class CampaignCache:
             "newest": newest,
         }
 
-    def verify(self, sample: int = 3) -> list[VerifyOutcome]:
-        """Re-run up to ``sample`` fresh entries and diff the results.
+    def verify(self, sample: int = 3, seed: int = 0) -> list[VerifyOutcome]:
+        """Re-run a seeded sample of fresh entries and diff the results.
 
         The entry's own pickled ``(fn, kwargs)`` call is replayed and the
         re-computed result digest compared against the stored one — a
         mismatch means either non-determinism or cache corruption, both of
         which must surface loudly.  Entries stored without a call payload
         (or from another source tree) are skipped.
+
+        The sample is drawn with ``random.Random(seed)`` across *all*
+        fresh entries (deterministic for a given seed and store content),
+        not taken from the head of the directory listing — iteration order
+        is sorted by digest, so "the first ``sample`` entries" would be
+        the same few entries re-verified forever while the rest of the
+        store never got checked.  Vary ``seed`` to walk the store.
         """
+        import random
+
+        candidates = [
+            (path, provenance)
+            for path, provenance in self._iter_entries()
+            if provenance is not None
+            and provenance.get("fingerprint") == self.fingerprint
+        ]
+        if 0 <= sample < len(candidates):
+            candidates = random.Random(seed).sample(candidates, sample)
+            candidates.sort(key=lambda item: item[0])  # stable output order
         outcomes: list[VerifyOutcome] = []
-        for path, provenance in self._iter_entries():
-            if len(outcomes) >= sample:
-                break
-            if provenance is None or provenance.get("fingerprint") != self.fingerprint:
-                continue
+        for path, provenance in candidates:
             logical = provenance.get("logical", path.stem)
             try:
                 with open(path) as fh:
@@ -325,9 +339,16 @@ class CampaignCache:
             )
         return outcomes
 
-    def gc(self, everything: bool = False) -> tuple[int, int]:
-        """Drop stale/corrupt entries (or all of them); returns (removed, kept)."""
-        removed = kept = 0
+    def gc(self, everything: bool = False) -> tuple[int, int, int]:
+        """Drop stale/corrupt entries (or all of them).
+
+        Returns ``(removed, kept, failed)``.  ``failed`` counts entries
+        whose ``unlink`` raised :class:`OSError`: they are still on disk
+        but were *meant* to go, so folding them into "kept" (as this
+        method once did) silently masked undeletable entries — callers
+        must surface them, not re-report them as healthy.
+        """
+        removed = kept = failed = 0
         for path, provenance in self._iter_entries():
             drop = everything or provenance is None or (
                 provenance.get("fingerprint") != self.fingerprint
@@ -337,10 +358,10 @@ class CampaignCache:
                     path.unlink()
                     removed += 1
                 except OSError:
-                    kept += 1
+                    failed += 1
             else:
                 kept += 1
-        return removed, kept
+        return removed, kept, failed
 
 
 def resolve_cache(cache: "CampaignCache | bool | None") -> CampaignCache | None:

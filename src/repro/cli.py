@@ -411,7 +411,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(table.render())
         return 0
     if args.action == "verify":
-        outcomes = cache.verify(sample=args.sample)
+        outcomes = cache.verify(sample=args.sample, seed=args.sample_seed)
         if not outcomes:
             print("cache is empty; nothing to verify")
             return 0
@@ -420,10 +420,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"{status}  {out.fn}  {out.shard_key}  {out.detail}")
         return 0 if all(o.ok for o in outcomes) else 1
     if args.action == "gc":
-        removed, kept = cache.gc(everything=args.all)
+        removed, kept, failed = cache.gc(everything=args.all)
         what = "entries" if args.all else "stale/corrupt entries"
-        print(f"removed {removed} {what}, kept {kept}")
-        return 0
+        line = f"removed {removed} {what}, kept {kept}"
+        if failed:
+            line += f", failed to remove {failed}"
+        print(line)
+        return 1 if failed else 0
     raise AssertionError(f"unknown cache action {args.action!r}")
 
 
@@ -581,6 +584,137 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0 if report.programs == args.programs else 1
 
 
+def _parse_params(pairs: list[str] | None) -> dict:
+    """``--param k=v`` pairs; values parse as JSON, falling back to string."""
+    import json
+
+    kwargs: dict = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            kwargs[key] = json.loads(value)
+        except json.JSONDecodeError:
+            kwargs[key] = value
+    return kwargs
+
+
+def _service_client(args: argparse.Namespace):
+    from .service.client import ServiceClient
+
+    if getattr(args, "port", None):
+        return ServiceClient(host=args.host, port=args.port)
+    return ServiceClient(socket_path=getattr(args, "socket", None))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service in the foreground until shut down."""
+    from .service.server import serve
+
+    return serve(
+        socket_path=args.socket, host=args.host, port=args.port,
+        jobs=args.jobs, cache=args.cache,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign spec; by default stream it to completion.
+
+    The rendered result goes to stdout exactly as the one-shot subcommand
+    would print it (plus a ``manifest:`` line); progress chatter goes to
+    stderr.  The exit code is the experiment's own status rule.
+    """
+    client = _service_client(args)
+    events = client.submit(
+        args.experiment, kwargs=_parse_params(args.param), seed=args.seed,
+        priority=args.priority, watch=not args.no_wait,
+    )
+    final = None
+    for event in events:
+        kind = event.get("event")
+        if kind == "accepted":
+            how = "coalesced onto" if event.get("deduped") else "queued as"
+            print(f"{how} {event['job_id']} (key {event['key']})",
+                  file=sys.stderr)
+            if args.no_wait:
+                print(event["job_id"])
+                return 0
+        elif kind == "state":
+            print(f"{event['job_id']}: {event['state']}", file=sys.stderr)
+        elif kind == "progress":
+            print(f"{event['job_id']}: {event['done']}/{event['total']} "
+                  "shard(s)", file=sys.stderr)
+        elif kind in ("result", "cancelled", "error"):
+            final = event
+            break
+    if final is None:
+        print("service closed the stream before a terminal event",
+              file=sys.stderr)
+        return 2
+    if final["event"] == "result":
+        print(final["output"])
+        if final.get("manifest"):
+            print(f"manifest: {final['manifest']}")
+        return int(final.get("status") or 0)
+    if final["event"] == "cancelled":
+        print(f"cancelled after {final.get('done')}/{final.get('total')} "
+              "shard(s)", file=sys.stderr)
+        return 3
+    print(f"job failed: {final.get('message')}", file=sys.stderr)
+    return 2
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """One table of jobs plus the service counters."""
+    status = _service_client(args).status(args.job_id)
+    if status.get("event") == "error":
+        print(status.get("message"), file=sys.stderr)
+        return 2
+    table = TextTable(
+        ["Job", "Experiment", "Seed", "Prio", "State", "Shards", "Subs",
+         "Wall"],
+        title=f"Campaign service @ {status['service']['address']}",
+    )
+    for row in status["jobs"]:
+        table.add_row(
+            row["job_id"], row["experiment"], row["seed"], row["priority"],
+            row["state"], f"{row['done']}/{row['total']}",
+            row["submissions"], f"{row['wall_seconds']:.2f}s",
+        )
+    print(table.render())
+    svc = status["service"]
+    print(
+        f"workers: {svc['workers']}  queued: {svc['queue_depth']}  "
+        f"submitted: {svc['submitted']}  coalesced: {svc['coalesced']}  "
+        f"completed: {svc['completed']}  failed: {svc['failed']}  "
+        f"cancelled: {svc['cancelled']}"
+    )
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    ack = _service_client(args).cancel(args.job_id)
+    if ack.get("event") == "error":
+        print(ack.get("message"), file=sys.stderr)
+        return 2
+    print(f"{ack['job_id']}: {ack['state']}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Stream a job's events as JSON lines until it reaches a terminal one."""
+    import json
+
+    for event in _service_client(args).watch(args.job_id):
+        print(json.dumps(event, sort_keys=True))
+        if event.get("event") == "error" and "job_id" not in event:
+            return 2
+        if event.get("event") in ("result", "cancelled", "error"):
+            return 0
+    return 2
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     status = 0
     for runner in (
@@ -712,6 +846,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many fresh entries `verify` re-runs (default 3)",
     )
     cache.add_argument(
+        "--sample-seed", type=int, default=0, metavar="S",
+        help=(
+            "seed for `verify`'s deterministic sample over all fresh "
+            "entries (default 0; vary it to cover different entries)"
+        ),
+    )
+    cache.add_argument(
         "--all", action="store_true",
         help="`gc` removes every entry, not just stale/corrupt ones",
     )
@@ -833,6 +974,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSONL case file per verified hit into DIR",
     )
     search.set_defaults(func=_cmd_search)
+
+    def _add_service_transport(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--socket", type=str, default=None, metavar="PATH",
+            help=(
+                "unix socket path (default $REPRO_SERVICE_SOCKET or "
+                "<cache dir>/service.sock)"
+            ),
+        )
+        p.add_argument(
+            "--host", type=str, default="127.0.0.1",
+            help="TCP host when --port is given (default 127.0.0.1)",
+        )
+        p.add_argument(
+            "--port", type=int, default=None, metavar="N",
+            help="serve/connect over TCP instead of the unix socket",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the campaign service: a job queue over the shared worker "
+            "pool with content-addressed dedup and streamed progress"
+        ),
+    )
+    _add_service_transport(serve)
+    serve.set_defaults(func=_cmd_serve)
+    submit = sub.add_parser(
+        "submit",
+        help=(
+            "submit an experiment to a running service and stream it to "
+            "completion (output is byte-identical to the one-shot command)"
+        ),
+    )
+    submit.add_argument(
+        "experiment",
+        help="registered experiment name (table1, table2, table3, figure3, "
+             "verify, robustness)",
+    )
+    submit.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help="driver kwarg; VALUE parses as JSON, else a string "
+             "(repeatable, e.g. --param trials=5)",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="larger runs first; ties are FIFO (default 0)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and detach instead of streaming",
+    )
+    _add_service_transport(submit)
+    submit.set_defaults(func=_cmd_submit)
+    status = sub.add_parser("status", help="list the service's jobs and counters")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="limit to one job")
+    _add_service_transport(status)
+    status.set_defaults(func=_cmd_status)
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a job (queued: instant; running: at the next shard)",
+    )
+    cancel.add_argument("job_id")
+    _add_service_transport(cancel)
+    cancel.set_defaults(func=_cmd_cancel)
+    watch = sub.add_parser(
+        "watch", help="stream a job's event lines as JSON until it finishes"
+    )
+    watch.add_argument("job_id")
+    _add_service_transport(watch)
+    watch.set_defaults(func=_cmd_watch)
     return parser
 
 

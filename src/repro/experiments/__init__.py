@@ -26,6 +26,13 @@ from .findings import (
 )
 from .jamming_contrast import render_jamming_contrast, run_jamming_contrast
 from .recognition import render_recognition, run_recognition
+from .registry import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register,
+    unregister,
+)
 from .robustness import render_robustness, run_robustness
 from .table1 import profile_label, render_table1, run_table1
 from .table2 import profile_local_label, render_table2, run_table2
@@ -34,6 +41,11 @@ from .tls_integrity import render_integrity, run_integrity_experiment
 from .verification import render_verification, run_verification, verify_device
 
 __all__ = [
+    "ExperimentSpec",
+    "experiment_names",
+    "get_experiment",
+    "register",
+    "unregister",
     "finding1_half_open",
     "render_ablations",
     "run_forged_ack_ablation",

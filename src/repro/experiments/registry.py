@@ -1,0 +1,122 @@
+"""Registry mapping campaign-spec experiment names to their drivers.
+
+The campaign service (``repro.service``) accepts JSON specs that name an
+experiment; this table is the one place such a name resolves to a driver,
+a renderer, and the exit-status rule the one-shot CLI applies to the same
+rows.  Keeping all three together is what makes a served result provably
+equivalent to ``phantom-delay <experiment>``: both sides call the same
+driver with the same kwargs/seed and render with the same function.
+
+Every registered ``run`` callable accepts ``**kwargs`` from the spec plus
+``seed=`` and ``runner=`` (a pre-built :class:`~repro.parallel.CampaignRunner`
+carrying the service's shared pool, cache policy, per-job manifest path,
+cancel signal, and progress observer).  Tests may :func:`register` their
+own experiments and :func:`unregister` them afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: driver + renderer + CLI status rule."""
+
+    name: str
+    run: Callable[..., Any]
+    render: Callable[[Any], str]
+    #: Maps the driver's result to the exit status the one-shot CLI would
+    #: return for it (0 = every row matched expectations).
+    status: Callable[[Any], int]
+    description: str = ""
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec, replace: bool = False) -> ExperimentSpec:
+    """Add an experiment; refuses to shadow an existing name by accident."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"experiment {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: "
+            + ", ".join(experiment_names())
+        ) from None
+
+
+def experiment_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _all_pass(predicate: Callable[[Any], bool]) -> Callable[[Any], int]:
+    return lambda rows: 0 if all(predicate(r) for r in rows) else 1
+
+
+def _register_builtins() -> None:
+    from .robustness import render_robustness, run_robustness
+    from .table1 import render_table1, run_table1
+    from .table2 import render_table2, run_table2
+    from .table3 import render_table3, run_figure3, run_table3
+    from .verification import render_verification, run_verification
+
+    register(ExperimentSpec(
+        name="table1",
+        run=run_table1,
+        render=render_table1,
+        status=_all_pass(lambda r: r.matches_expectation()),
+        description="Table I: cloud device timeout profiling",
+    ))
+    register(ExperimentSpec(
+        name="table2",
+        run=run_table2,
+        render=render_table2,
+        status=_all_pass(lambda r: r.matches_expectation),
+        description="Table II: HomeKit device profiling",
+    ))
+    register(ExperimentSpec(
+        name="table3",
+        run=run_table3,
+        render=render_table3,
+        status=_all_pass(lambda r: r.consequence_reproduced and r.stealthy),
+        description="Table III: the 11 PoC attack cases",
+    ))
+    register(ExperimentSpec(
+        name="figure3",
+        run=run_figure3,
+        render=lambda rows: render_table3(
+            rows, title="Figure 3 — the four illustrated attacks"
+        ),
+        status=_all_pass(lambda r: r.consequence_reproduced and r.stealthy),
+        description="Figure 3: the four illustrated attacks",
+    ))
+    register(ExperimentSpec(
+        name="verify",
+        run=run_verification,
+        render=render_verification,
+        status=_all_pass(lambda r: r.success_rate == 1.0),
+        description="Section VI-C verification test",
+    ))
+    register(ExperimentSpec(
+        name="robustness",
+        run=run_robustness,
+        render=render_robustness,
+        status=_all_pass(lambda r: r.success and r.violations == 0),
+        description="attack success over a loss x jitter grid",
+    ))
+
+
+_register_builtins()

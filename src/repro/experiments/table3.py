@@ -131,6 +131,7 @@ def run_table3(
 def run_figure3(
     seed: int = 3,
     jobs: int | None = 1,
+    runner: CampaignRunner | None = None,
     faults: Any = None,
     check_invariants: bool = False,
     cache: Any = None,
@@ -140,6 +141,7 @@ def run_figure3(
         seed=seed,
         scenarios=FIGURE3_SCENARIOS,
         jobs=jobs,
+        runner=runner,
         faults=faults,
         check_invariants=check_invariants,
         cache=cache,

@@ -120,6 +120,7 @@ def run_verification(
     seed: int = 31,
     catalogue: Catalogue | None = None,
     jobs: int | None = 1,
+    runner: CampaignRunner | None = None,
     cache: Any = None,
     manifest: Any = True,
 ) -> list[VerificationRow]:
@@ -132,7 +133,7 @@ def run_verification(
         )
         for i, label in enumerate(labels)
     ]
-    runner = CampaignRunner(
+    runner = runner or CampaignRunner(
         jobs=jobs, base_seed=seed, campaign="verification", cache=cache,
         manifest=manifest,
     )

@@ -67,6 +67,32 @@ if TYPE_CHECKING:  # pragma: no cover
 JOBS_CAP = 8
 
 
+class CampaignCancelled(RuntimeError):
+    """Raised by :meth:`CampaignRunner.run` when its cancel signal trips.
+
+    Cancellation is cooperative and shard-granular: every shard that
+    completed before the signal was observed has already been booked and
+    stored to the cache (entries are written atomically), so the cache is
+    consistent and a resubmission of the same campaign resumes from those
+    entries instead of recomputing them.
+    """
+
+    def __init__(self, campaign: str, done: int, total: int) -> None:
+        super().__init__(
+            f"campaign {campaign!r} cancelled after {done}/{total} shard(s)"
+        )
+        self.campaign = campaign
+        self.done = done
+        self.total = total
+
+
+class _Cancelled(Exception):
+    """Internal: carries the outcomes that completed before the signal."""
+
+    def __init__(self, outcomes: list) -> None:
+        self.outcomes = outcomes
+
+
 @dataclass(frozen=True)
 class Shard:
     """One independent unit of a campaign (usually: one device / one case).
@@ -123,6 +149,45 @@ def _warm_up() -> None:
     import repro.testbed  # noqa: F401
 
 
+class SharedWorkerPool:
+    """One long-lived fork pool shared by many :class:`CampaignRunner`\\ s.
+
+    A runner normally owns its pool for the duration of one ``run()``; a
+    service that multiplexes many jobs over the same workers hands each
+    runner one of these via ``pool=`` instead, and the runner dispatches to
+    :meth:`executor` without ever shutting it down.  The pool starts lazily
+    (or eagerly via :meth:`prewarm`, which a threaded host should call
+    while the process is still single-threaded so the fork is clean) and
+    lives until :meth:`shutdown`.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            ctx = multiprocessing.get_context("fork")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=ctx, initializer=_warm_up
+            )
+        return self._executor
+
+    def prewarm(self) -> None:
+        """Fork every worker now (one trivial dispatch spawns them all)."""
+        self.executor().submit(_pool_ping).result()
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+def _pool_ping() -> int:
+    """No-op worker task used by :meth:`SharedWorkerPool.prewarm`."""
+    return os.getpid()
+
+
 def _run_shard(shard: Shard, base_seed: int) -> tuple[Any, float, ShardTelemetry]:
     """Execute one shard (worker side).
 
@@ -164,10 +229,28 @@ class CampaignRunner:
         campaign: str = "campaign",
         cache: "CampaignCache | bool | None" = None,
         manifest: "bool | str | os.PathLike | None" = True,
+        pool: SharedWorkerPool | None = None,
+        cancel: Any = None,
+        on_progress: Callable[[int, int], None] | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.base_seed = base_seed
         self.campaign = campaign
+        #: Shared executor (service mode); ``None`` means the runner owns a
+        #: pool per ``run()`` as before.
+        self.pool = pool
+        #: Cancel signal: a ``threading.Event`` (or anything with
+        #: ``is_set``) or a zero-argument callable.  Checked between shard
+        #: completions; when it trips, ``run()`` stores what finished and
+        #: raises :class:`CampaignCancelled`.
+        if cancel is None or callable(cancel):
+            self._cancel_check = cancel
+        else:
+            self._cancel_check = cancel.is_set
+        #: Observer called as ``on_progress(done, total)`` after each shard
+        #: is booked (cache hits included).  Exceptions are swallowed — an
+        #: observer must never take a campaign down.
+        self._on_progress = on_progress
         self.registry = registry if registry is not None else MetricsRegistry()
         self.last_wall_seconds = 0.0
         #: Manifest policy: ``True`` writes the campaign's default path,
@@ -234,12 +317,21 @@ class CampaignRunner:
 
     # ------------------------------------------------------------ execution
 
+    def cancelled(self) -> bool:
+        """True once the runner's cancel signal (if any) has tripped."""
+        return bool(self._cancel_check is not None and self._cancel_check())
+
     def run(self, shards: Sequence[Shard]) -> list[Any]:
         """Execute every shard; results come back in ``shards`` order.
 
         With a cache attached the run is hybrid: hits are filled from disk
         without touching a worker, and only the misses (plus entries made
         stale by a source change) are dispatched and then stored.
+
+        If a ``cancel`` signal was attached and trips mid-campaign, every
+        shard completed so far is stored to the cache and
+        :class:`CampaignCancelled` is raised — re-running the same
+        campaign later resumes from those entries.
         """
         shards = list(shards)
         self._total.inc(len(shards))
@@ -261,13 +353,30 @@ class CampaignRunner:
             pending = self._fill_from_cache(shards, results, keys, telemetry_rows)
             if pending:
                 workers = min(self.jobs, len(pending))
-                if workers <= 1 or not fork_available():
-                    outcomes = [
-                        (index, *self._run_serial(shards[index], index))
-                        for index in pending
-                    ]
-                else:
-                    outcomes = self._run_pool(shards, pending, workers)
+                try:
+                    if self.cancelled():
+                        raise _Cancelled([])
+                    if workers <= 1 or not fork_available():
+                        outcomes = []
+                        for index in pending:
+                            if self.cancelled():
+                                raise _Cancelled(outcomes)
+                            outcomes.append(
+                                (index, *self._run_serial(shards[index], index))
+                            )
+                    else:
+                        outcomes = self._run_pool(shards, pending, workers)
+                except _Cancelled as exc:
+                    # Keep (and cache) everything that finished before the
+                    # signal was seen, then surface the cancellation.
+                    for index, result, elapsed, shard_telemetry in exc.outcomes:
+                        results[index] = result
+                        telemetry_rows[index] = shard_telemetry
+                        self._store(shards[index], keys[index], result,
+                                    elapsed, shard_telemetry)
+                    raise CampaignCancelled(
+                        self.campaign, self._run_done, self._run_total
+                    ) from None
                 for index, result, elapsed, shard_telemetry in outcomes:
                     results[index] = result
                     telemetry_rows[index] = shard_telemetry
@@ -343,6 +452,11 @@ class CampaignRunner:
             self._events_seen += events
             self._events_processed.inc(events)
         self._progress_tick()
+        if self._on_progress is not None:
+            try:
+                self._on_progress(self._run_done, self._run_total)
+            except Exception:
+                pass  # observers never take the campaign down
 
     def _book(
         self,
@@ -396,33 +510,55 @@ class CampaignRunner:
     def _run_pool(
         self, shards: list[Shard], pending: list[int], workers: int
     ) -> list[tuple[int, Any, float, ShardTelemetry]]:
-        outcomes: list[tuple[int, Any, float, ShardTelemetry]] = []
+        if self.pool is not None:
+            # Shared executor (service mode): dispatch without shutting
+            # the pool down — it outlives this campaign.
+            return self._dispatch(self.pool.executor(), shards, pending)
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=ctx, initializer=_warm_up
         ) as pool:
-            futures = {}
-            for index in pending:
-                futures[pool.submit(_run_shard, shards[index], self.base_seed)] = index
-                self._in_flight.inc()
-            for future in as_completed(futures):
-                index = futures[future]
-                self._in_flight.dec()
-                try:
-                    result, elapsed, shard_telemetry = future.result()
-                except Exception:
-                    # Infrastructure failure (broken pool, unpicklable
-                    # result, worker OOM-kill): the shard itself is pure,
-                    # so replaying it in-process either heals the run or
-                    # re-raises the shard's genuine error with a usable
-                    # traceback.
-                    self._failed.inc()
-                    result, elapsed, shard_telemetry = self._replay(
-                        shards[index], index
-                    )
-                else:
-                    self._book(index, None, shard_telemetry, elapsed)
-                outcomes.append((index, result, elapsed, shard_telemetry))
+            return self._dispatch(pool, shards, pending)
+
+    def _dispatch(
+        self, pool: ProcessPoolExecutor, shards: list[Shard], pending: list[int]
+    ) -> list[tuple[int, Any, float, ShardTelemetry]]:
+        outcomes: list[tuple[int, Any, float, ShardTelemetry]] = []
+        cancelled_midway = False
+        futures = {}
+        for index in pending:
+            futures[pool.submit(_run_shard, shards[index], self.base_seed)] = index
+            self._in_flight.inc()
+        for future in as_completed(futures):
+            if future.cancelled():
+                continue  # revoked below; its in-flight count is settled
+            index = futures[future]
+            self._in_flight.dec()
+            try:
+                result, elapsed, shard_telemetry = future.result()
+            except Exception:
+                # Infrastructure failure (broken pool, unpicklable
+                # result, worker OOM-kill): the shard itself is pure,
+                # so replaying it in-process either heals the run or
+                # re-raises the shard's genuine error with a usable
+                # traceback.
+                self._failed.inc()
+                result, elapsed, shard_telemetry = self._replay(
+                    shards[index], index
+                )
+            else:
+                self._book(index, None, shard_telemetry, elapsed)
+            outcomes.append((index, result, elapsed, shard_telemetry))
+            if not cancelled_midway and self.cancelled():
+                # Revoke everything not yet started; shards already on a
+                # worker run to completion and are collected (and cached)
+                # by the remaining loop iterations.
+                cancelled_midway = True
+                for other in futures:
+                    if other.cancel():
+                        self._in_flight.dec()
+        if cancelled_midway:
+            raise _Cancelled(outcomes)
         return outcomes
 
     # ---------------------------------------------------------- aggregation
@@ -514,8 +650,12 @@ class CampaignRunner:
         if not force and now - self._progress_last < self.PROGRESS_INTERVAL:
             return
         self._progress_last = now
-        stream.write("\r" + self.render_progress().ljust(self._progress_width))
-        self._progress_width = max(self._progress_width, len(self.render_progress()))
+        # Render exactly once per tick: rendering twice (once to write,
+        # once to measure) doubled the work and let a counter bumped
+        # between the two calls mis-pad the line.
+        line = self.render_progress()
+        stream.write("\r" + line.ljust(self._progress_width))
+        self._progress_width = max(self._progress_width, len(line))
         stream.flush()
 
     def _progress_clear(self) -> None:

@@ -1,0 +1,139 @@
+"""Blocking client for the campaign service.
+
+Built on plain stdlib sockets so the CLI subcommands (`submit`, `status`,
+`cancel`, `watch`) stay synchronous and dependency-free: one connection
+per request, one JSON line out, decoded event lines back until the server
+closes the stream.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from .protocol import JobSpec, ProtocolError, decode, encode
+
+#: Environment override for the default unix-socket path.
+SERVICE_SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+#: Submissions can legitimately stream for as long as a campaign takes.
+DEFAULT_TIMEOUT = 600.0
+
+
+def default_socket_path() -> Path:
+    """``$REPRO_SERVICE_SOCKET`` or ``<cache dir>/service.sock``."""
+    env = os.environ.get(SERVICE_SOCKET_ENV)
+    if env:
+        return Path(env)
+    from ..cache.store import default_cache_dir
+
+    return default_cache_dir() / "service.sock"
+
+
+class ServiceClient:
+    """Talks the line-JSON protocol over a unix socket or TCP."""
+
+    def __init__(self, socket_path: "str | Path | None" = None,
+                 host: str | None = None, port: int | None = None,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.timeout = timeout
+        if port is not None:
+            self._address: "tuple[str, int] | str" = (host or "127.0.0.1",
+                                                      int(port))
+        else:
+            self._address = str(socket_path or default_socket_path())
+
+    def _connect(self) -> socket.socket:
+        if isinstance(self._address, tuple):
+            return socket.create_connection(self._address,
+                                            timeout=self.timeout)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self._address)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def request(self, payload: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        """Send one request line, yield decoded events until EOF."""
+        sock = self._connect()
+        try:
+            sock.sendall(encode(payload))
+            with sock.makefile("rb") as stream:
+                for line in stream:
+                    yield decode(line)
+        finally:
+            sock.close()
+
+    def _single(self, payload: dict[str, Any]) -> dict[str, Any]:
+        for event in self.request(payload):
+            return event
+        raise ProtocolError("service closed the connection without replying")
+
+    # ------------------------------------------------------------------ ops
+
+    def submit(self, experiment: str, kwargs: dict[str, Any] | None = None,
+               seed: int = 7, priority: int = 0,
+               watch: bool = True) -> Iterator[dict[str, Any]]:
+        """Submit a spec; yields ``accepted`` then (if watching) the stream."""
+        spec = JobSpec(experiment=experiment, kwargs=dict(kwargs or {}),
+                       seed=seed, priority=priority)
+        return self.request({
+            "op": "submit", "spec": spec.to_payload(), "watch": watch,
+        })
+
+    def submit_and_wait(self, experiment: str,
+                        kwargs: dict[str, Any] | None = None, seed: int = 7,
+                        priority: int = 0) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Submit and block for the terminal event.
+
+        Returns ``(accepted, final)`` where ``final`` is the ``result``,
+        ``cancelled``, or ``error`` event (or an immediate stream-level
+        ``error``).
+        """
+        accepted: dict[str, Any] | None = None
+        for event in self.submit(experiment, kwargs=kwargs, seed=seed,
+                                 priority=priority, watch=True):
+            kind = event.get("event")
+            if kind == "accepted":
+                accepted = event
+            elif kind in ("result", "cancelled", "error"):
+                return accepted or {}, event
+        raise ProtocolError("stream ended before a terminal event")
+
+    def watch(self, job_id: str) -> Iterator[dict[str, Any]]:
+        return self.request({"op": "watch", "job_id": job_id})
+
+    def status(self, job_id: str | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": "status"}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        return self._single(payload)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._single({"op": "cancel", "job_id": job_id})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._single({"op": "shutdown"})
+
+
+def wait_for_service(client: ServiceClient, timeout: float = 30.0,
+                     interval: float = 0.05) -> None:
+    """Poll ``status`` until the service answers (startup races, CI)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client.status()
+            return
+        except (OSError, ProtocolError):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "campaign service did not come up in "
+                    f"{timeout:.0f}s"
+                ) from None
+            time.sleep(interval)

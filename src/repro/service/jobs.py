@@ -1,0 +1,105 @@
+"""Job bookkeeping for the campaign service.
+
+A :class:`Job` is one accepted :class:`~repro.service.protocol.JobSpec`
+plus its lifecycle: ``queued → running → done | failed | cancelled``.
+All state transitions and event fan-out happen on the service's event
+loop (worker threads hand events over via ``call_soon_threadsafe``), so
+subscribers never observe a half-applied transition; the lone cross-thread
+member is ``cancel_event``, the ``threading.Event`` the runner polls
+between shard completions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from .protocol import JobSpec
+
+#: Lifecycle states; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class Job:
+    """One submitted campaign and everything its watchers can see."""
+
+    def __init__(self, job_id: str, spec: JobSpec, key: str, order: int) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.key = key
+        #: FIFO tiebreaker within one priority band.
+        self.order = order
+        self.state = "queued"
+        self.progress_done = 0
+        self.progress_total = 0
+        #: Payload of the terminal event (result/cancelled/error fields).
+        self.final_event: dict[str, Any] | None = None
+        #: How many submissions coalesced onto this execution (1 = just
+        #: the original submitter).
+        self.submissions = 1
+        self.wall_seconds = 0.0
+        self.cancel_event = threading.Event()
+        self._subscribers: list[asyncio.Queue] = []
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def active(self) -> bool:
+        return not self.terminal
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``status`` view of this job (one JSON-able dict)."""
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "experiment": self.spec.experiment,
+            "seed": self.spec.seed,
+            "priority": self.spec.priority,
+            "state": self.state,
+            "done": self.progress_done,
+            "total": self.progress_total,
+            "submissions": self.submissions,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "exit_status": (self.final_event or {}).get("status"),
+            "manifest": (self.final_event or {}).get("manifest"),
+        }
+
+    # ---------------------------------------------------------------- events
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue of this job's events from now on (loop thread only).
+
+        If the job is already terminal the stored final event is replayed
+        into the fresh queue, so late watchers still get a terminal line.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        if self.final_event is not None:
+            queue.put_nowait(self.final_event)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    def publish(self, event: dict[str, Any]) -> None:
+        """Fan an event out to every watcher (loop thread only)."""
+        event = {"job_id": self.job_id, **event}
+        if event.get("event") in ("result", "cancelled", "error"):
+            self.final_event = event
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+
+    def set_state(self, state: str) -> None:
+        assert state in JOB_STATES, state
+        self.state = state
+        if state not in TERMINAL_STATES:
+            self.publish({"event": "state", "state": state})

@@ -1,0 +1,115 @@
+"""Line-JSON wire protocol shared by the campaign service and its clients.
+
+Every message is one JSON object per ``\\n``-terminated line, UTF-8.  A
+client connection carries exactly one request line; the server answers
+with one or more event lines and closes (``watch``/``submit`` stream
+until the job reaches a terminal event).
+
+Requests::
+
+    {"op": "submit", "spec": {"experiment": ..., "kwargs": {...},
+                              "seed": ..., "priority": ...}, "watch": true}
+    {"op": "status", "job_id": "job-3"}        # job_id optional: all jobs
+    {"op": "watch",  "job_id": "job-3"}
+    {"op": "cancel", "job_id": "job-3"}
+    {"op": "shutdown"}
+
+Server events: ``accepted``, ``state``, ``progress``, ``result``,
+``cancelled``, ``error``, ``status``, ``shutdown`` — see ``docs/API.md``.
+
+A :class:`JobSpec`'s identity is its content address: the BLAKE2b digest
+of ``(experiment, canonical(kwargs), seed)`` computed with the exact
+machinery ``repro.cache`` keys shards with, so two submissions describe
+the same job iff they would execute the same campaign.  ``priority`` and
+transport options deliberately stay out of the key.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Bump on incompatible protocol changes; carried in every job key so two
+#: protocol generations never coalesce onto one another's jobs.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed request or spec; reported to the client, never fatal."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One canonical JSON line (sorted keys, no stray newlines)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict[str, Any]:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One campaign submission: experiment name + kwargs + seed."""
+
+    experiment: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    seed: int = 7
+    #: Larger runs first; ties break FIFO by submission order.
+    priority: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise ProtocolError("spec must be a JSON object")
+        experiment = payload.get("experiment")
+        if not isinstance(experiment, str) or not experiment:
+            raise ProtocolError("spec.experiment must be a non-empty string")
+        kwargs = payload.get("kwargs", {})
+        if not isinstance(kwargs, dict):
+            raise ProtocolError("spec.kwargs must be a JSON object")
+        seed = payload.get("seed", 7)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ProtocolError("spec.seed must be an integer")
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ProtocolError("spec.priority must be an integer")
+        unknown = set(payload) - {"experiment", "kwargs", "seed", "priority"}
+        if unknown:
+            raise ProtocolError(f"unknown spec field(s): {sorted(unknown)}")
+        return cls(experiment=experiment, kwargs=dict(kwargs), seed=seed,
+                   priority=priority)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "kwargs": self.kwargs,
+            "seed": self.seed,
+            "priority": self.priority,
+        }
+
+    def key(self) -> str:
+        """Content address: same digest machinery as the shard cache.
+
+        Two specs share a key iff they would execute the identical
+        campaign, which is exactly the in-flight dedup rule.
+        """
+        from ..cache.keys import canonical, digest
+
+        return digest(
+            b"service-job/%d" % PROTOCOL_VERSION,
+            self.experiment.encode("utf-8"),
+            canonical(self.kwargs),
+            b"%d" % self.seed,
+        )

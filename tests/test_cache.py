@@ -160,11 +160,33 @@ class TestStoreRoundtrip:
         stats = cache.stats()
         assert (stats["entries"], stats["fresh"], stats["corrupt"]) == (4, 3, 1)
         assert stats["replayable_seconds"] == pytest.approx(0.6)
-        removed, kept = cache.gc()
-        assert (removed, kept) == (1, 3)
-        removed, kept = cache.gc(everything=True)
-        assert (removed, kept) == (3, 0)
+        removed, kept, failed = cache.gc()
+        assert (removed, kept, failed) == (1, 3, 0)
+        removed, kept, failed = cache.gc(everything=True)
+        assert (removed, kept, failed) == (3, 0, 0)
         assert cache.stats()["entries"] == 0
+
+    def test_gc_counts_unremovable_entries_as_failed_not_kept(self, tmp_path,
+                                                              monkeypatch):
+        # Regression: an entry whose unlink raised used to be reported as
+        # deliberately "kept", hiding permission/IO problems from `cache gc`.
+        from pathlib import Path
+
+        cache = self._cache(tmp_path)
+        for value in (1, 2):
+            shard = self._shard(value)
+            cache.put(cache.key_for(shard, base_seed=0), value, wall_seconds=0.1)
+        stuck = sorted(cache.shard_dir.glob("*.jsonl"))[0]
+        real_unlink = Path.unlink
+
+        def flaky_unlink(self, *args, **kwargs):
+            if self == stuck:
+                raise OSError("simulated EACCES")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", flaky_unlink)
+        removed, kept, failed = cache.gc(everything=True)
+        assert (removed, kept, failed) == (1, 0, 1)
 
     def test_verify_replays_the_stored_call(self, tmp_path):
         cache = self._cache(tmp_path)
@@ -174,6 +196,29 @@ class TestStoreRoundtrip:
                   call=(_double, {"value": 21, "seed": 5}))
         [outcome] = cache.verify(sample=5)
         assert outcome.ok, outcome.detail
+
+    def test_verify_samples_deterministically_across_all_entries(self, tmp_path):
+        # Regression: `verify` used to replay the first `sample` entries in
+        # directory order, so a large cache's tail was never checked.  The
+        # sample must be (a) reproducible for a given seed and (b) actually
+        # drawn across the whole population as the seed varies.
+        cache = self._cache(tmp_path)
+        for value in range(10):
+            shard = self._shard(value)
+            cache.put(cache.key_for(shard, base_seed=0), (value * 2, 5),
+                      wall_seconds=0.1, call=(_double, {"value": value, "seed": 5}))
+
+        def sampled_keys(seed):
+            outcomes = cache.verify(sample=2, seed=seed)
+            assert len(outcomes) == 2
+            assert all(o.ok for o in outcomes)
+            return {o.shard_key for o in outcomes}
+
+        assert sampled_keys(0) == sampled_keys(0)  # deterministic per seed
+        coverage = set()
+        for seed in range(8):
+            coverage |= sampled_keys(seed)
+        assert len(coverage) > 2  # not pinned to one fixed prefix
 
     def test_verify_flags_a_drifted_result(self, tmp_path):
         cache = self._cache(tmp_path)

@@ -15,9 +15,11 @@ import time
 
 import pytest
 
+from repro.cache import CampaignCache
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel import (
     JOBS_CAP,
+    CampaignCancelled,
     CampaignRunner,
     Shard,
     derive_seed,
@@ -337,3 +339,171 @@ class TestSerialParallelEquivalence:
 
         rows = run_forged_ack_ablation(seed=71, jobs=1)
         assert {row.forge_acks for row in rows} == {True, False}
+
+
+def _touch_and_echo(path: str, seed: int) -> int:
+    from pathlib import Path
+
+    Path(path).touch()
+    return seed % 97
+
+
+def _wait_for_file(path: str, seed: int, timeout: float = 20.0) -> int:
+    from pathlib import Path
+
+    deadline = time.monotonic() + timeout
+    target = Path(path)
+    while not target.exists():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"release file {path} never appeared")
+        time.sleep(0.02)
+    return seed % 97
+
+
+class TestCancellation:
+    """Cooperative cancellation: stop between shards, keep the cache whole."""
+
+    def _shards(self, n=3):
+        return [Shard(key=f"c/{i}", fn=_echo_shard, kwargs={"name": f"r{i}"})
+                for i in range(n)]
+
+    def test_preset_event_cancels_before_any_shard(self, tmp_path):
+        import threading
+
+        stop = threading.Event()
+        stop.set()
+        cache = CampaignCache(root=tmp_path / "cache", fingerprint="a" * 32)
+        runner = CampaignRunner(jobs=1, campaign="cancel-now", cache=cache,
+                                manifest=False, cancel=stop)
+        with pytest.raises(CampaignCancelled) as err:
+            runner.run(self._shards())
+        assert (err.value.done, err.value.total) == (0, 3)
+        assert cache.stats()["entries"] == 0
+
+    def test_serial_cancel_after_first_shard_keeps_cache_consistent(self, tmp_path):
+        # Cancel as soon as the first shard books; the completed shard must
+        # be stored (atomic entries only) so a resubmission resumes from it.
+        cache = CampaignCache(root=tmp_path / "cache", fingerprint="a" * 32)
+        seen = {"done": 0}
+
+        def on_progress(done, total):
+            seen["done"] = done
+
+        runner = CampaignRunner(
+            jobs=1, base_seed=3, campaign="cancel-mid", cache=cache,
+            manifest=False, cancel=lambda: seen["done"] >= 1,
+            on_progress=on_progress,
+        )
+        with pytest.raises(CampaignCancelled) as err:
+            runner.run(self._shards())
+        assert (err.value.done, err.value.total) == (1, 3)
+        assert cache.stats()["entries"] == 1
+
+        registry = MetricsRegistry()
+        resumed = CampaignRunner(jobs=1, base_seed=3, campaign="cancel-mid",
+                                 cache=cache, manifest=False, registry=registry)
+        results = resumed.run(self._shards())
+        assert results == [("r0", pytest.approx(results[0][1])),
+                           results[1], results[2]]
+        assert registry.value("parallel", "cache_hits",
+                              campaign="cancel-mid") == 1
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_pool_cancel_revokes_pending_and_stores_completed(self, tmp_path):
+        # Pool mode: shard 0 drops a marker; the cancel check fires once the
+        # marker exists, releases the in-flight blockers, and the runner
+        # must revoke the still-queued shard while caching everything that
+        # completed.
+        cache = CampaignCache(root=tmp_path / "cache", fingerprint="a" * 32)
+        marker = tmp_path / "first-done"
+        release = tmp_path / "release"
+        ran_last = tmp_path / "ran-last"
+
+        def cancel() -> bool:
+            if marker.exists():
+                release.touch()
+                return True
+            return False
+
+        shards = [
+            Shard(key="p/0", fn=_touch_and_echo, kwargs={"path": str(marker)}),
+            Shard(key="p/1", fn=_wait_for_file, kwargs={"path": str(release)}),
+            Shard(key="p/2", fn=_wait_for_file, kwargs={"path": str(release)}),
+        ] + [
+            Shard(key=f"p/{i}", fn=_touch_and_echo,
+                  kwargs={"path": str(ran_last)})
+            for i in range(3, 10)
+        ]
+        runner = CampaignRunner(jobs=2, base_seed=0, campaign="cancel-pool",
+                                cache=cache, manifest=False, cancel=cancel)
+        with pytest.raises(CampaignCancelled) as err:
+            runner.run(shards)
+        # Shard 0 always completes.  The executor may have prefetched a few
+        # of the tail shards into its call queue (those are uncancellable),
+        # but the backlog beyond the prefetch window must have been revoked
+        # — and every shard that did complete must be cached.
+        assert 1 <= err.value.done < len(shards)
+        assert cache.stats()["entries"] == err.value.done
+        warm = CampaignRunner(jobs=1, base_seed=0, campaign="cancel-pool",
+                              cache=cache, manifest=False)
+        release.touch()
+        assert len(warm.run(shards)) == len(shards)
+
+    def test_on_progress_reports_each_booked_shard(self):
+        calls = []
+        runner = CampaignRunner(jobs=1, campaign="progress-hook",
+                                manifest=False,
+                                on_progress=lambda d, t: calls.append((d, t)))
+        runner.run(self._shards())
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestSharedWorkerPool:
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_two_runners_share_one_executor(self):
+        from repro.parallel import SharedWorkerPool
+
+        pool = SharedWorkerPool(jobs=2)
+        try:
+            pool.prewarm()
+            executor = pool.executor()
+            assert pool.executor() is executor  # reused, not rebuilt
+            shards = [
+                Shard(key=f"s/{i}", fn=_echo_shard, kwargs={"name": f"r{i}"})
+                for i in range(3)
+            ]
+            first = CampaignRunner(jobs=2, campaign="pool-a", manifest=False,
+                                   pool=pool)
+            second = CampaignRunner(jobs=2, campaign="pool-b", manifest=False,
+                                    pool=pool)
+            assert first.run(shards) == second.run(shards)
+            assert pool.executor() is executor  # survived both campaigns
+        finally:
+            pool.shutdown()
+
+
+class TestProgressTick:
+    def test_tick_renders_exactly_once(self):
+        # Regression: the tick used to call render_progress() twice (once to
+        # write, once to measure), doubling the work per repaint and letting
+        # a counter bumped between the calls mis-pad the line.
+        import io
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        runner = CampaignRunner(jobs=1, campaign="tick-test", manifest=False)
+        runner._progress_stream = lambda: stream
+        renders = {"count": 0}
+        real_render = runner.render_progress
+
+        def counting_render():
+            renders["count"] += 1
+            return real_render()
+
+        runner.render_progress = counting_render
+        runner._progress_tick(force=True)
+        assert renders["count"] == 1
+        assert stream.getvalue().startswith("\r")

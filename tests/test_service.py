@@ -1,0 +1,367 @@
+"""Tests for the campaign service (``repro.service``).
+
+The service's contract has three legs:
+
+* **dedup** — submissions with the same content address coalesce onto one
+  execution (in-flight or already completed), while failed/cancelled jobs
+  never memoise;
+* **equivalence** — a served result is byte-identical to the one-shot CLI
+  invocation of the same experiment, cold or warm cache;
+* **cancellation** — cancelling mid-campaign stops between shards and
+  leaves the cache consistent, so a resubmission resumes from it.
+
+Service fixtures run with ``jobs=1`` (serial in-process shards): the shared
+fork pool is covered in ``test_parallel.py``, and forking from the
+multi-threaded pytest process would trip the dev-mode warning gate.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register,
+    unregister,
+)
+from repro.service import (
+    JobSpec,
+    ProtocolError,
+    ServiceClient,
+    decode,
+    encode,
+    start_in_thread,
+)
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        message = {"op": "submit", "spec": {"experiment": "table1"}}
+        assert decode(encode(message)) == message
+
+    def test_encode_is_one_canonical_line(self):
+        data = encode({"b": 1, "a": 2})
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        assert data.index(b'"a"') < data.index(b'"b"')
+
+    @pytest.mark.parametrize("line", [b"", b"   \n", b"not json\n", b"[1]\n"])
+    def test_decode_rejects_garbage(self, line):
+        with pytest.raises(ProtocolError):
+            decode(line)
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        {},
+        {"experiment": ""},
+        {"experiment": 7},
+        {"experiment": "table1", "kwargs": []},
+        {"experiment": "table1", "seed": "7"},
+        {"experiment": "table1", "seed": True},
+        {"experiment": "table1", "priority": 1.5},
+        {"experiment": "table1", "bogus": 1},
+    ])
+    def test_spec_validation_rejects_bad_payloads(self, payload):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_payload(payload)
+
+    def test_spec_payload_roundtrip(self):
+        spec = JobSpec("table1", {"trials": 2}, seed=3, priority=1)
+        assert JobSpec.from_payload(spec.to_payload()) == spec
+
+
+class TestJobKey:
+    def test_key_ignores_kwarg_order_and_priority(self):
+        a = JobSpec("table1", {"trials": 2, "labels": ["C1"]}, seed=7, priority=0)
+        b = JobSpec("table1", {"labels": ["C1"], "trials": 2}, seed=7, priority=9)
+        assert a.key() == b.key()
+
+    def test_key_is_sensitive_to_what_executes(self):
+        base = JobSpec("table1", {"trials": 2}, seed=7)
+        assert base.key() != JobSpec("table2", {"trials": 2}, seed=7).key()
+        assert base.key() != JobSpec("table1", {"trials": 3}, seed=7).key()
+        assert base.key() != JobSpec("table1", {"trials": 2}, seed=8).key()
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"table1", "table2", "table3", "figure3", "verify",
+                "robustness"} <= set(experiment_names())
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="table1"):
+            get_experiment("nope")
+
+    def test_register_refuses_to_shadow(self):
+        spec = get_experiment("table1")
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec)
+
+
+# Toy experiments: module-level so cached calls stay picklable.  Each
+# execution appends one line to a log file, which is how the dedup tests
+# count actual executions.
+
+def _toy_run(log: str, tag: str = "x", seed: int = 7, runner=None):
+    with open(log, "a") as fh:
+        fh.write(f"{tag}/{seed}\n")
+    return [tag, seed]
+
+
+def _toy_fail(log: str, seed: int = 7, runner=None):
+    with open(log, "a") as fh:
+        fh.write(f"fail/{seed}\n")
+    raise RuntimeError("toy experiment exploded")
+
+
+def _release_gated(index: int, release: str, seed: int) -> int:
+    # Shard 1 blocks until the test creates the release file, giving the
+    # cancel a deterministic window; shards 0 and 2 are instant.
+    if index == 1:
+        deadline = time.monotonic() + 20.0
+        while not Path(release).exists():
+            if time.monotonic() > deadline:
+                raise TimeoutError("release file never appeared")
+            time.sleep(0.02)
+    return index * 10 + (seed % 10)
+
+
+def _toy_sharded(release: str, seed: int = 7, runner=None):
+    from repro.parallel import Shard
+
+    shards = [
+        Shard(key=f"gated/{i}", fn=_release_gated,
+              kwargs={"index": i, "release": release})
+        for i in range(3)
+    ]
+    return runner.run(shards)
+
+
+@pytest.fixture
+def toy_experiments(tmp_path):
+    log = tmp_path / "executions.log"
+    register(ExperimentSpec(
+        name="toy", run=_toy_run, render=lambda rows: f"rows={rows}",
+        status=lambda rows: 0, description="test toy",
+    ))
+    register(ExperimentSpec(
+        name="toy-fail", run=_toy_fail, render=str,
+        status=lambda rows: 0, description="always raises",
+    ))
+    register(ExperimentSpec(
+        name="toy-sharded", run=_toy_sharded, render=str,
+        status=lambda rows: 0, description="3 shards, one gated",
+    ))
+    yield log
+    unregister("toy")
+    unregister("toy-fail")
+    unregister("toy-sharded")
+
+
+@pytest.fixture
+def service(tmp_path):
+    socket_path = tmp_path / "service.sock"
+    handle = start_in_thread(socket_path, jobs=1)
+    yield ServiceClient(socket_path)
+    handle.stop()
+
+
+def _submissions(log: Path) -> list[str]:
+    return log.read_text().splitlines() if log.exists() else []
+
+
+class TestServiceDedup:
+    def test_duplicate_submissions_coalesce_to_one_execution(
+            self, service, toy_experiments):
+        log = toy_experiments
+        spec = {"log": str(log), "tag": "dup"}
+        # First submission detaches right after `accepted`, so the job is
+        # still in flight (queued or running) when the duplicate arrives.
+        first = list(service.submit("toy", kwargs=spec, watch=False))
+        assert [e["event"] for e in first] == ["accepted"]
+        assert first[0]["deduped"] is False
+
+        accepted, final = service.submit_and_wait("toy", kwargs=spec)
+        assert accepted["deduped"] is True
+        assert accepted["job_id"] == first[0]["job_id"]
+        assert final["event"] == "result"
+        assert _submissions(log) == ["dup/7"]
+
+        # Completed jobs memoise too: a third submission replays the
+        # stored terminal event without executing anything.
+        accepted3, final3 = service.submit_and_wait("toy", kwargs=spec)
+        assert accepted3["deduped"] is True
+        assert final3["output"] == final["output"]
+        assert _submissions(log) == ["dup/7"]
+
+    def test_distinct_specs_each_execute(self, service, toy_experiments):
+        log = toy_experiments
+        service.submit_and_wait("toy", kwargs={"log": str(log), "tag": "a"})
+        service.submit_and_wait("toy", kwargs={"log": str(log), "tag": "b"})
+        service.submit_and_wait("toy", kwargs={"log": str(log), "tag": "a"},
+                                seed=8)
+        assert _submissions(log) == ["a/7", "b/7", "a/8"]
+
+    def test_failed_jobs_do_not_memoise(self, service, toy_experiments):
+        log = toy_experiments
+        accepted, final = service.submit_and_wait(
+            "toy-fail", kwargs={"log": str(log)})
+        assert final["event"] == "error"
+        assert "toy experiment exploded" in final["message"]
+        retry, final2 = service.submit_and_wait(
+            "toy-fail", kwargs={"log": str(log)})
+        assert retry["deduped"] is False
+        assert retry["job_id"] != accepted["job_id"]
+        assert _submissions(log) == ["fail/7", "fail/7"]
+
+    def test_unknown_experiment_is_rejected_with_the_catalogue(self, service):
+        [error] = list(service.submit("nope", watch=False))
+        assert error["event"] == "error"
+        assert "table1" in error["message"]
+
+    def test_malformed_request_yields_protocol_error(self, service):
+        [error] = list(service.request({"op": "frobnicate"}))
+        assert error["event"] == "error"
+        assert "unknown op" in error["message"]
+
+
+class TestServiceCancellation:
+    def test_cancel_mid_campaign_leaves_cache_consistent(
+            self, service, toy_experiments, tmp_path):
+        release = tmp_path / "release"
+        spec = {"release": str(release)}
+        events = service.submit("toy-sharded", kwargs=spec)
+        accepted = next(events)
+        job_id = accepted["job_id"]
+
+        final = None
+        for event in events:
+            kind = event.get("event")
+            if kind == "progress" and event["done"] >= 1:
+                # Shard 0 booked; shard 1 is (or will be) blocked on the
+                # release file.  Cancel, then unblock.
+                ack = ServiceClient(service._address).cancel(job_id)
+                assert ack["event"] == "cancel-ack"
+                release.touch()
+            if kind in ("result", "cancelled", "error"):
+                final = event
+                break
+        assert final is not None and final["event"] == "cancelled"
+        # The runner stops between shards: never all three, and everything
+        # that completed is already cached.
+        assert 1 <= final["done"] < final["total"] == 3
+        cancelled_done = final["done"]
+
+        # A resubmission is a fresh job (cancelled jobs never memoise) that
+        # resumes from the cache the cancelled run left behind.
+        retry, final2 = service.submit_and_wait("toy-sharded", kwargs=spec)
+        assert retry["deduped"] is False
+        assert final2["event"] == "result"
+        assert final2["shards"] == 3
+        assert final2["cached_shards"] == cancelled_done
+
+    def test_cancel_queued_job_is_instant(self, service, toy_experiments,
+                                          tmp_path):
+        release = tmp_path / "release"
+        blocker = list(service.submit(
+            "toy-sharded", kwargs={"release": str(release)}, watch=False))[0]
+        queued = list(service.submit(
+            "toy", kwargs={"log": str(toy_experiments), "tag": "queued"},
+            watch=False))[0]
+        ack = service.cancel(queued["job_id"])
+        assert ack["state"] == "cancelled"
+        [final] = [e for e in service.watch(queued["job_id"])]
+        assert final["event"] == "cancelled" and final["done"] == 0
+        # Unblock and drain the first job so teardown doesn't wait on it.
+        service.cancel(blocker["job_id"])
+        release.touch()
+        for event in service.watch(blocker["job_id"]):
+            if event["event"] in ("result", "cancelled", "error"):
+                break
+
+    def test_cancel_unknown_job_reports_error(self, service):
+        error = service.cancel("job-999")
+        assert error["event"] == "error"
+        assert "unknown job" in error["message"]
+
+
+class TestServedEquivalence:
+    def test_served_table1_matches_one_shot_cli_cold_and_warm(
+            self, service, capsys):
+        kwargs = {"trials": 1, "labels": ["C1", "C2"]}
+        # Served run is the cold one: it fills the shared cache.
+        _, cold = service.submit_and_wait("table1", kwargs=kwargs, seed=7)
+        assert cold["event"] == "result"
+        assert cold["cached_shards"] == 0
+
+        # The one-shot CLI replays warm from the same cache and must print
+        # byte-for-byte what the service streamed.
+        from repro.cli import main
+
+        code = main(["--trials", "1", "--labels", "C1,C2", "--no-manifest",
+                     "table1"])
+        printed = capsys.readouterr().out
+        assert printed == cold["output"] + "\n"
+        assert code == cold["status"]
+
+        # And a fresh spec served warm matches its own one-shot run too.
+        _, warm = service.submit_and_wait("table1", kwargs=kwargs, seed=7)
+        assert warm["output"] == cold["output"]
+
+    def test_served_result_writes_one_manifest_per_job(self, service):
+        _, final = service.submit_and_wait(
+            "table1", kwargs={"trials": 1, "labels": ["C1"]}, seed=7)
+        manifest = Path(final["manifest"])
+        assert manifest.is_file()
+        assert manifest.parent.name == "service"
+        key = JobSpec("table1", {"trials": 1, "labels": ["C1"]}, seed=7).key()
+        assert manifest.stem == key
+
+    def test_result_carries_the_merged_metrics_snapshot(self, service):
+        _, final = service.submit_and_wait(
+            "table1", kwargs={"trials": 1, "labels": ["C1"]}, seed=7)
+        components = {record["component"] for record in final["metrics"]}
+        assert components  # non-empty deterministic snapshot
+        assert "parallel" not in components  # wall-clock noise stays out
+
+
+class TestServiceStatus:
+    def test_status_counts_and_priority_order(self, service, toy_experiments,
+                                              tmp_path):
+        log = toy_experiments
+        release = tmp_path / "release"
+        # Occupy the single executor slot, then queue two jobs with
+        # inverted priorities: the later, higher-priority one must run
+        # first once the blocker is released.
+        blocker = list(service.submit(
+            "toy-sharded", kwargs={"release": str(release)},
+            watch=False))[0]
+        low = service.submit("toy", kwargs={"log": str(log), "tag": "low"},
+                             priority=0, watch=False)
+        high = service.submit("toy", kwargs={"log": str(log), "tag": "high"},
+                              priority=5, watch=False)
+        low_id = list(low)[0]["job_id"]
+        high_id = list(high)[0]["job_id"]
+
+        status = service.status()
+        by_id = {row["job_id"]: row for row in status["jobs"]}
+        assert by_id[low_id]["state"] == by_id[high_id]["state"] == "queued"
+        assert status["service"]["queue_depth"] == 2
+        assert "table1" in status["experiments"]
+
+        release.touch()
+        for job_id in (blocker["job_id"], high_id, low_id):
+            for event in service.watch(job_id):
+                if event["event"] in ("result", "cancelled", "error"):
+                    break
+        assert _submissions(log) == ["high/7", "low/7"]
+
+        status = service.status()
+        assert status["service"]["completed"] == 3
+        assert status["service"]["queue_depth"] == 0
+        one = service.status(job_id=high_id)
+        assert [row["job_id"] for row in one["jobs"]] == [high_id]
